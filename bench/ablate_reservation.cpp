@@ -1,0 +1,165 @@
+// §2.2 / §5 ablation — advance reservation vs. best-effort co-allocation.
+//
+// "by incorporating advance reservation capabilities into a local resource
+// manager, a co-allocator can obtain guarantees that a resource will
+// deliver a required level of service when required" ... "we believe that
+// some form of advance reservation will ultimately be required."
+//
+// Experiment: co-allocate a 16-processor piece on each of k contended
+// batch machines.  Best-effort: the pieces queue independently and the
+// computation starts when the *last* machine delivers (the co-allocation
+// skew grows with k).  Co-reservation: windows are pre-arranged on all
+// machines; the pieces start simultaneously at the window.
+#include <cstdio>
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "sched/coreservation.hpp"
+#include "sched/reservation.hpp"
+#include "simkit/engine.hpp"
+#include "simkit/rng.hpp"
+#include "simkit/stats.hpp"
+#include "testbed/report.hpp"
+
+using namespace grid;
+
+namespace {
+
+constexpr std::int32_t kProcs = 64;
+constexpr std::int32_t kPiece = 16;
+const sim::Time kMeanJob = 10 * sim::kMinute;
+
+struct Contended {
+  sim::Engine engine;
+  std::vector<std::unique_ptr<sched::ReservationScheduler>> machines;
+  sched::JobId next_id = 1;
+
+  Contended(int k, std::uint64_t seed) {
+    sim::Rng rng(seed);
+    for (int i = 0; i < k; ++i) {
+      machines.push_back(
+          std::make_unique<sched::ReservationScheduler>(engine, kProcs));
+      // Pre-existing queued load: 4-10 jobs of various widths.
+      const auto jobs = rng.uniform_int(4, 10);
+      for (std::int64_t j = 0; j < jobs; ++j) {
+        sched::JobDescriptor d;
+        d.id = next_id++;
+        d.count = static_cast<std::int32_t>(rng.uniform_int(16, kProcs));
+        d.runtime = rng.exponential_time(kMeanJob);
+        d.estimated_runtime = d.runtime;
+        machines.back()->submit(d, nullptr, nullptr);
+      }
+    }
+  }
+};
+
+struct Measure {
+  double start_s = -1;      // when all pieces are running
+  double skew_s = -1;       // last piece start - first piece start
+  bool simultaneous = false;
+};
+
+Measure best_effort(int k, std::uint64_t seed) {
+  Contended world(k, seed);
+  std::vector<sim::Time> starts;
+  for (auto& m : world.machines) {
+    sched::JobDescriptor d;
+    d.id = world.next_id++;
+    d.count = kPiece;
+    d.runtime = sim::kHour;  // the co-allocated application
+    d.estimated_runtime = d.runtime;
+    m->submit(d,
+              [&starts, &world](sched::JobId) {
+                starts.push_back(world.engine.now());
+              },
+              nullptr);
+  }
+  world.engine.run_until(24 * sim::kHour);
+  Measure out;
+  if (starts.size() != static_cast<std::size_t>(k)) return out;
+  const auto [lo, hi] = std::minmax_element(starts.begin(), starts.end());
+  out.start_s = sim::to_seconds(*hi);
+  out.skew_s = sim::to_seconds(*hi - *lo);
+  out.simultaneous = (*hi - *lo) == 0;
+  return out;
+}
+
+Measure co_reservation(int k, std::uint64_t seed) {
+  Contended world(k, seed);
+  std::vector<sched::ReservationScheduler*> schedulers;
+  for (auto& m : world.machines) schedulers.push_back(m.get());
+  sched::CoReservationAgent::Options options;
+  options.duration = sim::kHour;
+  options.count = kPiece;
+  options.step = 10 * sim::kMinute;
+  auto holds = sched::CoReservationAgent::acquire(schedulers, options);
+  Measure out;
+  if (!holds.is_ok()) return out;
+  std::vector<sim::Time> starts;
+  for (auto& hold : holds.value()) {
+    sched::JobDescriptor d;
+    d.id = world.next_id++;
+    d.count = kPiece;
+    d.runtime = 50 * sim::kMinute;
+    hold.scheduler->submit_reserved(
+        d, hold.reservation.id,
+        [&starts, &world](sched::JobId) {
+          starts.push_back(world.engine.now());
+        },
+        nullptr);
+  }
+  world.engine.run_until(72 * sim::kHour);
+  if (starts.size() != world.machines.size()) return out;
+  const auto [lo, hi] = std::minmax_element(starts.begin(), starts.end());
+  out.start_s = sim::to_seconds(*hi);
+  out.skew_s = sim::to_seconds(*hi - *lo);
+  out.simultaneous = (*hi - *lo) == 0;
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  testbed::print_heading(
+      "Co-reservation vs. best-effort co-allocation on contended machines");
+  testbed::Table table({"machines", "besteffort_start_s", "besteffort_skew_s",
+                        "reserved_start_s", "reserved_skew_s"});
+  constexpr int kSeeds = 8;
+  bool reserved_always_simultaneous = true;
+  bool skew_grows = true;
+  double prev_skew = -1;
+  for (int k : {2, 4, 8, 12}) {
+    util::Accumulator be_start, be_skew, rv_start, rv_skew;
+    for (int s = 0; s < kSeeds; ++s) {
+      const auto seed = static_cast<std::uint64_t>(s) * 97 + 11;
+      const Measure be = best_effort(k, seed);
+      const Measure rv = co_reservation(k, seed);
+      if (be.start_s >= 0) {
+        be_start.add(be.start_s);
+        be_skew.add(be.skew_s);
+      }
+      if (rv.start_s >= 0) {
+        rv_start.add(rv.start_s);
+        rv_skew.add(rv.skew_s);
+        reserved_always_simultaneous &= rv.simultaneous;
+      }
+    }
+    if (prev_skew >= 0 && be_skew.mean() < prev_skew * 0.5) {
+      skew_grows = false;
+    }
+    prev_skew = be_skew.mean();
+    table.add_row({testbed::Table::num(static_cast<std::int64_t>(k)),
+                   testbed::Table::num(be_start.mean(), 0),
+                   testbed::Table::num(be_skew.mean(), 0),
+                   testbed::Table::num(rv_start.mean(), 0),
+                   testbed::Table::num(rv_skew.mean(), 0)});
+  }
+  testbed::print_table(table);
+  std::printf(
+      "\nshape check: best-effort pieces start minutes-to-hours apart (skew\n"
+      "growing with ensemble size, wasting the early machines), while\n"
+      "co-reserved pieces start simultaneously at the window: %s\n",
+      reserved_always_simultaneous && skew_grows ? "HOLDS" : "VIOLATED");
+  return reserved_always_simultaneous && skew_grows ? 0 : 1;
+}

@@ -1,0 +1,176 @@
+// §4.3 — GRAB (atomic transactions) vs. DUROC (interactive transactions)
+// under realistic failure rates.
+//
+// "On several occasions, we had actually acquired an acceptable number of
+// resources, but then had to abort and restart the simulation due to
+// failure or slowness of a single resource.  As startup and initialization
+// of large simulations on large parallel computers can take 15 minutes or
+// more, the cost inherent in such unnecessary restarts is tremendous."
+//
+// Experiment: co-allocate 5 machines whose applications take ~15 virtual
+// minutes to initialize; each subjob independently fails with probability
+// p.  The atomic strategy aborts everything and resubmits until a run
+// succeeds; the interactive strategy substitutes failed subjobs from a
+// spare pool without restarting the survivors.  Metric: expected time to a
+// released (fully co-allocated) computation, and restarts/substitutions.
+#include <cstdio>
+
+#include "app/behaviors.hpp"
+#include "core/grab.hpp"
+#include "core/strategies.hpp"
+#include "testbed/grid.hpp"
+#include "testbed/report.hpp"
+
+using namespace grid;
+
+namespace {
+
+constexpr int kMachines = 5;
+constexpr int kSpares = 20;
+constexpr std::int32_t kProcsPerMachine = 80;
+const sim::Time kInitTime = 15 * sim::kMinute;
+const sim::Time kStartupTimeout = 45 * sim::kMinute;
+
+struct TrialSetup {
+  std::unique_ptr<testbed::Grid> grid;
+  app::BarrierStats stats;
+  std::unique_ptr<core::Coallocator> mech;
+
+  TrialSetup(double failure_prob, std::uint64_t seed) {
+    grid = std::make_unique<testbed::Grid>(testbed::CostModel::paper(), seed);
+    for (int i = 1; i <= kMachines + kSpares; ++i) {
+      grid->add_host("site" + std::to_string(i), 128);
+    }
+    app::StartupProfile profile;
+    profile.init_delay = kInitTime;
+    profile.init_jitter = 2 * sim::kMinute;
+    // A failing process crashes partway through initialization, so the
+    // failure is discovered only after substantial time has been sunk —
+    // the paper's "failures in a resource often could not be detected
+    // until after the application had been started".
+    profile.failure_probability = failure_prob;  // per machine, not process
+    profile.failure_per_job = true;
+    profile.mode_on_chance = app::FailureMode::kCrashBeforeBarrier;
+    app::install_app(grid->executables(), "sim", profile, &stats, seed * 7);
+    core::RequestConfig defaults;
+    defaults.startup_timeout = kStartupTimeout;
+    mech = grid->make_coallocator("agent", "/CN=bench", defaults);
+  }
+
+  std::string rsl() const {
+    std::vector<std::string> subs;
+    for (int i = 1; i <= kMachines; ++i) {
+      subs.push_back(testbed::rsl_subjob("site" + std::to_string(i),
+                                         kProcsPerMachine, "sim",
+                                         "interactive"));
+    }
+    return testbed::rsl_multi(subs);
+  }
+};
+
+struct TrialResult {
+  double time_to_start_s = -1;
+  int attempts = 0;  // restarts (GRAB) or substitutions (DUROC)
+  bool success = false;
+};
+
+/// GRAB: atomic all-or-nothing; on failure, resubmit the whole request.
+TrialResult run_atomic(double p, std::uint64_t seed) {
+  TrialSetup setup(p, seed);
+  core::GrabAllocator grab(*setup.mech);
+  TrialResult result;
+  constexpr int kMaxAttempts = 40;
+  std::function<void()> attempt = [&] {
+    ++result.attempts;
+    grab.allocate(
+        setup.rsl(),
+        {.on_started =
+             [&](const core::RuntimeConfig&) {
+               result.success = true;
+               result.time_to_start_s =
+                   sim::to_seconds(setup.grid->engine().now());
+             },
+         .on_done =
+             [&](const util::Status& status) {
+               if (!status.is_ok() && !result.success &&
+                   result.attempts < kMaxAttempts) {
+                 attempt();  // formulate and resubmit (paper §3.2)
+               }
+             }});
+  };
+  attempt();
+  setup.grid->run();
+  return result;
+}
+
+/// DUROC: interactive; failed subjobs are substituted from the spare pool.
+TrialResult run_interactive(double p, std::uint64_t seed) {
+  TrialSetup setup(p, seed);
+  std::vector<std::string> spares;
+  for (int i = kMachines + 1; i <= kMachines + kSpares; ++i) {
+    spares.push_back("site" + std::to_string(i));
+  }
+  TrialResult result;
+  core::ReplacementAgent agent(
+      *setup.mech, {.spare_contacts = spares, .auto_commit = true},
+      {.on_subjob = nullptr,
+       .on_released =
+           [&](const core::RuntimeConfig& config) {
+             if (config.total_processes == kMachines * kProcsPerMachine) {
+               result.success = true;
+               result.time_to_start_s =
+                   sim::to_seconds(setup.grid->engine().now());
+             }
+           },
+       .on_terminal = nullptr});
+  agent.request().add_rsl(setup.rsl());
+  agent.request().start();
+  setup.grid->run();
+  result.attempts = static_cast<int>(agent.substitutions_made());
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  testbed::print_heading(
+      "GRAB (atomic) vs DUROC (interactive) time-to-start, 5 machines, "
+      "~15 min application startup");
+  testbed::Table table({"failure_prob", "atomic_mean_s", "atomic_restarts",
+                        "interactive_mean_s", "interactive_substs",
+                        "speedup"});
+  constexpr int kTrials = 10;
+  bool interactive_always_wins = true;
+  for (double p : {0.0, 0.05, 0.1, 0.2, 0.3, 0.4}) {
+    util::Accumulator atomic_time, atomic_attempts;
+    util::Accumulator inter_time, inter_attempts;
+    for (int t = 0; t < kTrials; ++t) {
+      const std::uint64_t seed = 1000 + static_cast<std::uint64_t>(t);
+      const TrialResult a = run_atomic(p, seed);
+      const TrialResult d = run_interactive(p, seed);
+      if (a.success) {
+        atomic_time.add(a.time_to_start_s);
+        atomic_attempts.add(a.attempts - 1);  // restarts beyond the first
+      }
+      if (d.success) {
+        inter_time.add(d.time_to_start_s);
+        inter_attempts.add(d.attempts);
+      }
+    }
+    const double speedup = atomic_time.mean() / inter_time.mean();
+    if (p > 0.05 && speedup < 1.0) interactive_always_wins = false;
+    table.add_row({testbed::Table::num(p, 2),
+                   testbed::Table::num(atomic_time.mean(), 1),
+                   testbed::Table::num(atomic_attempts.mean(), 2),
+                   testbed::Table::num(inter_time.mean(), 1),
+                   testbed::Table::num(inter_attempts.mean(), 2),
+                   testbed::Table::num(speedup, 2)});
+  }
+  testbed::print_table(table);
+  std::printf(
+      "\nshape check: at p=0 the strategies tie; as per-resource failure\n"
+      "probability grows, atomic restarts multiply the ~15-minute startup\n"
+      "cost while interactive substitution pays it once: %s\n",
+      interactive_always_wins ? "HOLDS" : "VIOLATED");
+  return interactive_always_wins ? 0 : 1;
+}

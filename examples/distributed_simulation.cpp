@@ -1,0 +1,131 @@
+// The §2 application scenario, end to end.
+//
+// "A large distributed simulation requires 400 processors ... Five
+// computers are identified that can collectively provide the required 400
+// processors ... one of the computers turns out to be unavailable due to a
+// system crash.  This failure is handled by dropping that computer from
+// the ensemble and adding another, located dynamically. ... after five
+// minutes the fifth system has not joined ... The solution adopted ... is
+// to drop the 'faulty' system from the ensemble, and proceed with just
+// four systems, at a decreased level of simulation fidelity, but with the
+// same completion time."
+//
+//   $ ./distributed_simulation
+#include <cstdio>
+
+#include "app/behaviors.hpp"
+#include "core/duroc.hpp"
+#include "testbed/grid.hpp"
+
+using namespace grid;
+
+namespace {
+
+void log_line(const testbed::Grid& grid, const std::string& msg) {
+  std::printf("[%7.2fs] %s\n",
+              sim::to_seconds(const_cast<testbed::Grid&>(grid).engine().now()),
+              msg.c_str());
+}
+
+}  // namespace
+
+int main() {
+  testbed::Grid grid;
+  app::BarrierStats stats;
+  for (int i = 1; i <= 6; ++i) grid.add_host("site" + std::to_string(i), 128);
+
+  app::install_app(grid.executables(), "sim",
+                   {.init_delay = 45 * sim::kSecond,
+                    .init_jitter = 15 * sim::kSecond},
+                   &stats);
+  // site5 is overloaded with other work: its processes initialize far too
+  // slowly to make the startup deadline.
+  app::install_app(grid.executables(), "sim-overloaded",
+                   {.init_delay = 40 * sim::kMinute}, &stats);
+  // site3 has crashed before the request is issued.
+  grid.host("site3")->crash();
+
+  auto mechanisms = grid.make_coallocator("agent", "/O=Grid/CN=dis");
+  core::RequestConfig config;
+  config.rpc_timeout = 10 * sim::kSecond;
+  // The application's startup deadline: five minutes.
+  config.startup_timeout = 5 * sim::kMinute;
+  core::DurocAllocator duroc(*mechanisms);
+
+  core::CoallocationRequest* req = nullptr;
+  bool substituted = false;
+  bool released = false;
+  req = duroc.create_request(
+      {
+          .on_subjob =
+              [&](core::SubjobHandle h, core::SubjobState s,
+                  const util::Status& why) {
+                auto view = req->subjob(h);
+                const std::string where =
+                    view.is_ok() ? view.value().contact : "?";
+                log_line(grid, "subjob " + std::to_string(h) + " (" + where +
+                                   ") -> " + core::to_string(s) +
+                                   (why.is_ok() ? "" : "  [" +
+                                                           why.to_string() +
+                                                           "]"));
+                if (s != core::SubjobState::kFailed ||
+                    req->state() != core::RequestState::kEditing) {
+                  return;
+                }
+                if (where == "site3" && !substituted) {
+                  substituted = true;
+                  log_line(grid,
+                           ">> site3 is down; adding site6, located "
+                           "dynamically");
+                  auto original = req->subjob_request(h);
+                  rsl::JobRequest r = original.take();
+                  r.resource_manager_contact = "site6";
+                  req->substitute_subjob(h, std::move(r));
+                } else if (where == "site5") {
+                  log_line(grid,
+                           ">> site5 missed the startup deadline; dropping "
+                           "it and proceeding with four systems at reduced "
+                           "fidelity");
+                  req->commit();
+                }
+              },
+          .on_released =
+              [&](const core::RuntimeConfig& cfg) {
+                released = true;
+                log_line(grid, "barrier released: " +
+                                   std::to_string(cfg.total_processes) +
+                                   " processors on " +
+                                   std::to_string(cfg.subjobs.size()) +
+                                   " systems");
+              },
+          .on_terminal =
+              [&](const util::Status& status) {
+                log_line(grid, "terminal: " + status.to_string());
+              },
+      },
+      config);
+
+  std::printf("co-allocating a 400-processor distributed simulation on five "
+              "systems\n(80 processors each); site3 is crashed, site5 is "
+              "overloaded\n\n");
+  std::vector<std::string> sites = {"site1", "site2", "site3", "site4",
+                                    "site5"};
+  for (const std::string& site : sites) {
+    rsl::JobRequest j;
+    j.resource_manager_contact = site;
+    j.executable = site == "site5" ? "sim-overloaded" : "sim";
+    j.count = 80;
+    j.start_type = rsl::SubjobStartType::kInteractive;
+    req->add_subjob(std::move(j));
+  }
+  req->start();
+  grid.run();
+
+  std::printf("\nfinal: %d processors released across %zu systems "
+              "(%s fidelity)\n",
+              req->runtime_config().total_processes,
+              req->runtime_config().subjobs.size(),
+              req->runtime_config().total_processes == 400 ? "full"
+                                                           : "reduced");
+  return released ? 0 : 1;
+}

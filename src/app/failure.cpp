@@ -1,0 +1,34 @@
+#include "app/failure.hpp"
+
+namespace grid::app {
+
+void FailureInjector::crash_at(net::NodeId node, sim::Time at) {
+  ++injected_;
+  network_->engine().schedule_at(
+      at, [net = network_, node] { net->set_node_up(node, false); });
+}
+
+void FailureInjector::restore_at(net::NodeId node, sim::Time at) {
+  ++injected_;
+  network_->engine().schedule_at(
+      at, [net = network_, node] { net->set_node_up(node, true); });
+}
+
+void FailureInjector::partition_between(net::NodeId a, net::NodeId b,
+                                        sim::Time from, sim::Time until) {
+  ++injected_;
+  network_->engine().schedule_at(
+      from, [net = network_, a, b] { net->set_partitioned(a, b, true); });
+  network_->engine().schedule_at(
+      until, [net = network_, a, b] { net->set_partitioned(a, b, false); });
+}
+
+void FailureInjector::lossy_window(double p, sim::Time from, sim::Time until) {
+  ++injected_;
+  network_->engine().schedule_at(
+      from, [net = network_, p] { net->set_drop_probability(p); });
+  network_->engine().schedule_at(
+      until, [net = network_] { net->set_drop_probability(0.0); });
+}
+
+}  // namespace grid::app

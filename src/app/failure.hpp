@@ -1,0 +1,41 @@
+// Failure injection for co-allocation experiments.
+//
+// Schedules the Grid failure modes of paper §2 against a running
+// simulation: host crashes (and recoveries), network partitions, and
+// random message loss windows.  Used by the scenario benches and the
+// property tests that assert the co-allocators' invariants under fire.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "net/network.hpp"
+#include "simkit/engine.hpp"
+
+namespace grid::app {
+
+class FailureInjector {
+ public:
+  explicit FailureInjector(net::Network& network) : network_(&network) {}
+
+  /// Crashes a node at `at`; it stays down until restored.
+  void crash_at(net::NodeId node, sim::Time at);
+
+  /// Restores a crashed node at `at`.
+  void restore_at(net::NodeId node, sim::Time at);
+
+  /// Blocks traffic between the pair during [from, until).
+  void partition_between(net::NodeId a, net::NodeId b, sim::Time from,
+                         sim::Time until);
+
+  /// Applies i.i.d. message loss probability `p` during [from, until).
+  void lossy_window(double p, sim::Time from, sim::Time until);
+
+  std::size_t injected_events() const { return injected_; }
+
+ private:
+  net::Network* network_;
+  std::size_t injected_ = 0;
+};
+
+}  // namespace grid::app

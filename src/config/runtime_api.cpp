@@ -1,0 +1,30 @@
+#include "config/runtime_api.hpp"
+
+namespace grid::cfg {
+
+std::int32_t ConfigRuntime::subjob_size(std::int32_t index) const {
+  if (index < 0 || index >= subjob_count()) return 0;
+  return info_.config.subjobs[static_cast<std::size_t>(index)].size;
+}
+
+net::NodeId ConfigRuntime::subjob_leader(std::int32_t index) const {
+  if (index < 0 || index >= subjob_count()) return net::kInvalidNode;
+  return info_.config.subjobs[static_cast<std::size_t>(index)].leader;
+}
+
+std::int32_t ConfigRuntime::rank_base(std::int32_t index) const {
+  if (index < 0 || index >= subjob_count()) return -1;
+  return info_.config.subjobs[static_cast<std::size_t>(index)].rank_base;
+}
+
+std::pair<std::int32_t, std::int32_t> ConfigRuntime::locate(
+    std::int32_t global_rank) const {
+  for (const core::SubjobLayout& s : info_.config.subjobs) {
+    if (global_rank >= s.rank_base && global_rank < s.rank_base + s.size) {
+      return {s.index, global_rank - s.rank_base};
+    }
+  }
+  return {-1, -1};
+}
+
+}  // namespace grid::cfg

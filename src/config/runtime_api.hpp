@@ -1,0 +1,63 @@
+// Configuration mechanism queries (paper §3.3).
+//
+// The paper defines a minimal operation set from which alternative
+// configuration approaches can be built:
+//   * determine the number of subjobs in a resource set;
+//   * determine the size of a specific subjob;
+//   * communicate between at least one node in a subjob and every other
+//     node in the subjob (intra-subjob: member addresses);
+//   * for at least one node in a subjob, communicate with at least one
+//     node in every other subjob (inter-subjob: leader addresses).
+// ConfigRuntime exposes exactly these over the release payload.
+#pragma once
+
+#include "core/runtime.hpp"
+
+namespace grid::cfg {
+
+class ConfigRuntime {
+ public:
+  explicit ConfigRuntime(core::ReleaseInfo info) : info_(std::move(info)) {}
+
+  // ---- the §3.3 operation set --------------------------------------------
+
+  /// Number of subjobs in the released resource set.
+  std::int32_t subjob_count() const {
+    return static_cast<std::int32_t>(info_.config.subjobs.size());
+  }
+
+  /// Size (process count) of subjob `index`; 0 for out-of-range indices.
+  std::int32_t subjob_size(std::int32_t index) const;
+
+  /// Address of one node (the leader, local rank 0) of subjob `index`.
+  net::NodeId subjob_leader(std::int32_t index) const;
+
+  /// Addresses of every member of *this process's* subjob, by local rank.
+  const std::vector<net::NodeId>& my_subjob_members() const {
+    return info_.subjob_members;
+  }
+
+  // ---- derived conveniences ------------------------------------------------
+
+  std::int32_t my_subjob() const { return info_.subjob_index; }
+  std::int32_t my_local_rank() const { return info_.local_rank; }
+  std::int32_t my_global_rank() const { return info_.global_rank; }
+  bool is_leader() const { return info_.local_rank == 0; }
+  std::int32_t total_processes() const {
+    return info_.config.total_processes;
+  }
+
+  /// Global rank of subjob `index`'s local rank 0.
+  std::int32_t rank_base(std::int32_t index) const;
+
+  /// Maps a global rank to its (subjob, local rank); {-1,-1} if invalid.
+  std::pair<std::int32_t, std::int32_t> locate(std::int32_t global_rank) const;
+
+  const core::ReleaseInfo& info() const { return info_; }
+  const core::RuntimeConfig& config() const { return info_.config; }
+
+ private:
+  core::ReleaseInfo info_;
+};
+
+}  // namespace grid::cfg

@@ -1,0 +1,71 @@
+#include "core/app_barrier.hpp"
+
+#include <charconv>
+
+namespace grid::core {
+namespace {
+
+std::uint64_t parse_u64(const std::string& s) {
+  std::uint64_t v = 0;
+  const char* first = s.data();
+  const char* last = first + s.size();
+  auto [ptr, ec] = std::from_chars(first, last, v);
+  if (ec != std::errc{} || ptr != last) return 0;
+  return v;
+}
+
+std::string endpoint_name(gram::ProcessApi& api) {
+  return api.host_name() + "/job" + std::to_string(api.job() & 0xffffffff) +
+         ".r" + std::to_string(api.local_rank());
+}
+
+}  // namespace
+
+BarrierClient::BarrierClient(gram::ProcessApi& api)
+    : api_(&api), endpoint_(api.network(), endpoint_name(api)) {
+  contact_ = static_cast<net::NodeId>(
+      parse_u64(api.getenv(std::string(env::kContact))));
+  request_ = parse_u64(api.getenv(std::string(env::kRequest)));
+  subjob_ = parse_u64(api.getenv(std::string(env::kSubjob)));
+  endpoint_.register_notify(
+      kNotifyRelease, [this](net::NodeId, util::Reader& payload) {
+        ReleaseMessage msg = ReleaseMessage::decode(payload);
+        if (!payload.ok() || msg.request != request_) return;
+        if (released_at_ >= 0) return;  // duplicate release
+        released_at_ = endpoint_.engine().now();
+        if (on_release_) {
+          auto cb = std::move(on_release_);
+          on_abort_ = nullptr;
+          cb(msg.info);
+        }
+      });
+  endpoint_.register_notify(
+      kNotifyAbort, [this](net::NodeId, util::Reader& payload) {
+        AbortMessage msg = AbortMessage::decode(payload);
+        if (!payload.ok() || msg.request != request_) return;
+        if (on_abort_) {
+          auto cb = std::move(on_abort_);
+          on_release_ = nullptr;
+          cb(msg.reason);
+        }
+      });
+}
+
+void BarrierClient::enter(bool ok, const std::string& message,
+                          ReleaseFn on_release, AbortFn on_abort) {
+  entered_at_ = endpoint_.engine().now();
+  on_release_ = std::move(on_release);
+  on_abort_ = std::move(on_abort);
+  CheckinMessage msg;
+  msg.request = request_;
+  msg.subjob = subjob_;
+  msg.gram_job = api_->job();
+  msg.rank = api_->local_rank();
+  msg.ok = ok;
+  msg.message = message;
+  util::Writer w;
+  msg.encode(w);
+  endpoint_.notify(contact_, kNotifyCheckin, w.take());
+}
+
+}  // namespace grid::core

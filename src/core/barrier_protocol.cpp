@@ -1,0 +1,143 @@
+#include "core/barrier_protocol.hpp"
+
+namespace grid::core {
+
+std::string to_string(SubjobState s) {
+  switch (s) {
+    case SubjobState::kUnsubmitted:
+      return "UNSUBMITTED";
+    case SubjobState::kSubmitting:
+      return "SUBMITTING";
+    case SubjobState::kPending:
+      return "PENDING";
+    case SubjobState::kActive:
+      return "ACTIVE";
+    case SubjobState::kCheckedIn:
+      return "CHECKED_IN";
+    case SubjobState::kReleased:
+      return "RELEASED";
+    case SubjobState::kDone:
+      return "DONE";
+    case SubjobState::kFailed:
+      return "FAILED";
+    case SubjobState::kDeleted:
+      return "DELETED";
+  }
+  return "?";
+}
+
+std::string to_string(RequestState s) {
+  switch (s) {
+    case RequestState::kEditing:
+      return "EDITING";
+    case RequestState::kCommitted:
+      return "COMMITTED";
+    case RequestState::kReleased:
+      return "RELEASED";
+    case RequestState::kDone:
+      return "DONE";
+    case RequestState::kAborted:
+      return "ABORTED";
+  }
+  return "?";
+}
+
+void RuntimeConfig::encode(util::Writer& w) const {
+  w.u64(request);
+  w.i32(total_processes);
+  w.varint(subjobs.size());
+  for (const SubjobLayout& s : subjobs) {
+    w.u64(s.subjob);
+    w.i32(s.index);
+    w.i32(s.size);
+    w.i32(s.rank_base);
+    w.u32(s.leader);
+    w.str(s.contact);
+  }
+}
+
+RuntimeConfig RuntimeConfig::decode(util::Reader& r) {
+  RuntimeConfig c;
+  c.request = r.u64();
+  c.total_processes = r.i32();
+  const std::uint64_t n = r.varint();
+  for (std::uint64_t i = 0; i < n && r.ok(); ++i) {
+    SubjobLayout s;
+    s.subjob = r.u64();
+    s.index = r.i32();
+    s.size = r.i32();
+    s.rank_base = r.i32();
+    s.leader = r.u32();
+    s.contact = r.str();
+    c.subjobs.push_back(std::move(s));
+  }
+  return c;
+}
+
+void ReleaseInfo::encode(util::Writer& w) const {
+  config.encode(w);
+  w.i32(subjob_index);
+  w.i32(local_rank);
+  w.i32(global_rank);
+  w.varint(subjob_members.size());
+  for (net::NodeId m : subjob_members) w.u32(m);
+}
+
+ReleaseInfo ReleaseInfo::decode(util::Reader& r) {
+  ReleaseInfo i;
+  i.config = RuntimeConfig::decode(r);
+  i.subjob_index = r.i32();
+  i.local_rank = r.i32();
+  i.global_rank = r.i32();
+  const std::uint64_t n = r.varint();
+  for (std::uint64_t k = 0; k < n && r.ok(); ++k) {
+    i.subjob_members.push_back(r.u32());
+  }
+  return i;
+}
+
+void CheckinMessage::encode(util::Writer& w) const {
+  w.u64(request);
+  w.u64(subjob);
+  w.u64(gram_job);
+  w.i32(rank);
+  w.boolean(ok);
+  w.str(message);
+}
+
+CheckinMessage CheckinMessage::decode(util::Reader& r) {
+  CheckinMessage m;
+  m.request = r.u64();
+  m.subjob = r.u64();
+  m.gram_job = r.u64();
+  m.rank = r.i32();
+  m.ok = r.boolean();
+  m.message = r.str();
+  return m;
+}
+
+void ReleaseMessage::encode(util::Writer& w) const {
+  w.u64(request);
+  info.encode(w);
+}
+
+ReleaseMessage ReleaseMessage::decode(util::Reader& r) {
+  ReleaseMessage m;
+  m.request = r.u64();
+  m.info = ReleaseInfo::decode(r);
+  return m;
+}
+
+void AbortMessage::encode(util::Writer& w) const {
+  w.u64(request);
+  w.str(reason);
+}
+
+AbortMessage AbortMessage::decode(util::Reader& r) {
+  AbortMessage m;
+  m.request = r.u64();
+  m.reason = r.str();
+  return m;
+}
+
+}  // namespace grid::core

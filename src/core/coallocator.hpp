@@ -1,0 +1,62 @@
+// Coallocator: owns the network identity and GRAM client shared by the
+// co-allocation requests of one agent, and dispatches barrier traffic.
+//
+// This is the "co-allocation mechanism component" of the layered
+// architecture (paper §3.1): co-allocation agents (applications, resource
+// brokers, the GRAB/DUROC strategy classes) create requests through it and
+// drive them with the editing / commit / monitoring operations.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "core/request.hpp"
+#include "gsi/credential.hpp"
+#include "gsi/protocol.hpp"
+#include "net/rpc.hpp"
+
+namespace grid::core {
+
+class Coallocator {
+ public:
+  Coallocator(net::Network& network, std::string name,
+              const gsi::CertificateAuthority& ca, gsi::Credential identity,
+              gsi::CostModel gsi_costs = {}, RequestConfig defaults = {});
+  ~Coallocator();
+
+  Coallocator(const Coallocator&) = delete;
+  Coallocator& operator=(const Coallocator&) = delete;
+
+  /// Maps resourceManagerContact strings to gatekeeper addresses.  Must be
+  /// set before any request is started (the testbed installs its registry).
+  void set_contact_resolver(ContactResolver resolver);
+
+  /// Creates a request; the returned pointer is owned by the co-allocator
+  /// and valid until destroy_request() or the co-allocator's destruction.
+  CoallocationRequest* create_request(RequestCallbacks callbacks);
+  CoallocationRequest* create_request(RequestCallbacks callbacks,
+                                      RequestConfig config);
+
+  CoallocationRequest* find_request(RequestId id);
+  void destroy_request(RequestId id);
+
+  net::Endpoint& endpoint() { return endpoint_; }
+  sim::Engine& engine() { return endpoint_.engine(); }
+  gram::Client& gram() { return gram_client_; }
+  const ContactResolver& resolver() const { return resolver_; }
+  std::size_t request_count() const { return requests_.size(); }
+
+ private:
+  void on_checkin_notify(net::NodeId src, util::Reader& payload);
+
+  net::Endpoint endpoint_;
+  gram::Client gram_client_;
+  ContactResolver resolver_;
+  RequestConfig defaults_;
+  RequestId next_request_ = 1;
+  std::unordered_map<RequestId, std::unique_ptr<CoallocationRequest>>
+      requests_;
+};
+
+}  // namespace grid::core

@@ -1,0 +1,52 @@
+// DUROC — the Dynamically-Updated Request Online Co-allocator (paper §4.1).
+//
+// The interactive transaction co-allocator.  DUROC *is* the mechanism
+// layer used directly: a co-allocation agent creates a request, edits it
+// (add / remove / substitute) while monitoring subjob callbacks, commits
+// when satisfied, and then monitors/controls the released ensemble.  This
+// header gives that usage its paper name and bundles the pieces an agent
+// needs; reusable agent strategies built on top live in strategies.hpp.
+//
+//   core::DurocAllocator duroc(mechanisms);
+//   auto* req = duroc.create_request({
+//       .on_subjob  = ...,   // failure callbacks drive interactive edits
+//       .on_released = ...,  // barrier released with final configuration
+//       .on_terminal = ...});
+//   req->add_rsl("+(&(resourceManagerContact=...)...)...");
+//   req->start();
+//   ...edit until satisfied...
+//   req->commit();
+#pragma once
+
+#include "core/app_barrier.hpp"
+#include "core/coallocator.hpp"
+#include "core/request.hpp"
+
+namespace grid::core {
+
+/// The DUROC control library: a thin facade over the mechanism layer that
+/// carries the co-allocator's paper name and default configuration.
+class DurocAllocator {
+ public:
+  explicit DurocAllocator(Coallocator& mechanisms) : mech_(&mechanisms) {}
+
+  CoallocationRequest* create_request(RequestCallbacks callbacks) {
+    return mech_->create_request(std::move(callbacks));
+  }
+  CoallocationRequest* create_request(RequestCallbacks callbacks,
+                                      RequestConfig config) {
+    return mech_->create_request(std::move(callbacks), config);
+  }
+
+  CoallocationRequest* find_request(RequestId id) {
+    return mech_->find_request(id);
+  }
+  void destroy_request(RequestId id) { mech_->destroy_request(id); }
+
+  Coallocator& mechanisms() { return *mech_; }
+
+ private:
+  Coallocator* mech_;
+};
+
+}  // namespace grid::core

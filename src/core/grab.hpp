@@ -1,0 +1,56 @@
+// GRAB — the Globus Resource Allocation Broker (paper §4.1).
+//
+// The atomic transaction co-allocator: "All required resources are
+// specified at the time the request is made.  The request succeeds if all
+// resources required by the application are allocated.  Otherwise, the
+// request fails and none of the resources are acquired."
+//
+// GRAB is the degenerate configuration of the co-allocation mechanism
+// layer: every subjob is forced to `required`, the request is committed
+// immediately (no editing window), and any failure or timeout rolls the
+// whole allocation back.  Its limitations under realistic failure modes
+// (§4.3) are what motivated DUROC.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/coallocator.hpp"
+
+namespace grid::core {
+
+class GrabAllocator {
+ public:
+  struct Callbacks {
+    /// Fired when all resources are acquired and the barrier released.
+    std::function<void(const RuntimeConfig&)> on_started;
+    /// Fired once at the end: OK after the application completes, or the
+    /// error that rolled the transaction back.
+    std::function<void(const util::Status&)> on_done;
+  };
+
+  explicit GrabAllocator(Coallocator& mechanisms) : mech_(&mechanisms) {}
+
+  /// Starts an atomic co-allocation from RSL text.  subjobStartType
+  /// attributes are ignored: every subjob is treated as required.  Without
+  /// an explicit config the mechanism layer's defaults apply.
+  util::Result<RequestId> allocate(
+      const std::string& rsl_text, Callbacks callbacks,
+      std::optional<RequestConfig> config = std::nullopt);
+
+  /// Same, from typed subjob descriptions.
+  util::Result<RequestId> allocate(
+      std::vector<rsl::JobRequest> subjobs, Callbacks callbacks,
+      std::optional<RequestConfig> config = std::nullopt);
+
+  /// Rolls back / kills an allocation.
+  void cancel(RequestId id);
+
+  Coallocator& mechanisms() { return *mech_; }
+
+ private:
+  Coallocator* mech_;
+};
+
+}  // namespace grid::core

@@ -1,0 +1,94 @@
+#include "core/monitor.hpp"
+
+namespace grid::core {
+
+std::string to_string(GlobalEvent e) {
+  switch (e) {
+    case GlobalEvent::kAllPending:
+      return "ALL_PENDING";
+    case GlobalEvent::kAllActive:
+      return "ALL_ACTIVE";
+    case GlobalEvent::kReleased:
+      return "RELEASED";
+    case GlobalEvent::kDegraded:
+      return "DEGRADED";
+    case GlobalEvent::kDone:
+      return "DONE";
+    case GlobalEvent::kAborted:
+      return "ABORTED";
+  }
+  return "?";
+}
+
+RequestCallbacks EnsembleMonitor::wrap(RequestCallbacks user) {
+  user_ = std::move(user);
+  RequestCallbacks cbs;
+  cbs.on_subjob = [this](SubjobHandle h, SubjobState s,
+                         const util::Status& why) { observe(h, s, why); };
+  cbs.on_released = [this](const RuntimeConfig& config) {
+    emit(GlobalEvent::kReleased);
+    if (user_.on_released) user_.on_released(config);
+  };
+  cbs.on_terminal = [this](const util::Status& status) {
+    emit(status.is_ok() ? GlobalEvent::kDone : GlobalEvent::kAborted);
+    if (user_.on_terminal) user_.on_terminal(status);
+  };
+  return cbs;
+}
+
+void EnsembleMonitor::observe(SubjobHandle handle, SubjobState state,
+                              const util::Status& why) {
+  if (request_ != nullptr) {
+    const Summary s = summary();
+    // "All X" transitions fire once, when every live subjob has reached at
+    // least the given stage.
+    if (!saw_all_pending_ && s.live_subjobs > 0 &&
+        s.count(SubjobState::kUnsubmitted) == 0 &&
+        s.count(SubjobState::kSubmitting) == 0) {
+      saw_all_pending_ = true;
+      emit(GlobalEvent::kAllPending);
+    }
+    if (!saw_all_active_ && s.live_subjobs > 0 &&
+        s.count(SubjobState::kUnsubmitted) == 0 &&
+        s.count(SubjobState::kSubmitting) == 0 &&
+        s.count(SubjobState::kPending) == 0) {
+      saw_all_active_ = true;
+      emit(GlobalEvent::kAllActive);
+    }
+    if (state == SubjobState::kFailed &&
+        s.request_state == RequestState::kReleased) {
+      emit(GlobalEvent::kDegraded);
+    }
+  }
+  if (user_.on_subjob) user_.on_subjob(handle, state, why);
+}
+
+void EnsembleMonitor::emit(GlobalEvent event) {
+  history_.push_back(event);
+  if (on_event_) on_event_(event);
+}
+
+EnsembleMonitor::Summary EnsembleMonitor::summary() const {
+  Summary s;
+  if (request_ == nullptr) return s;
+  s.request_state = request_->state();
+  for (SubjobHandle h : request_->subjobs()) {
+    auto view = request_->subjob(h);
+    if (!view.is_ok()) continue;
+    const SubjobView& v = view.value();
+    ++s.by_state[static_cast<std::size_t>(v.state)];
+    if (v.state == SubjobState::kFailed) ++s.failures;
+    if (v.state != SubjobState::kFailed &&
+        v.state != SubjobState::kDeleted) {
+      ++s.live_subjobs;
+      s.live_processes += v.count;
+      if (v.state == SubjobState::kReleased ||
+          v.state == SubjobState::kDone) {
+        s.released_processes += v.count;
+      }
+    }
+  }
+  return s;
+}
+
+}  // namespace grid::core

@@ -1,0 +1,83 @@
+// Ensemble monitoring and control (paper §3.4).
+//
+// "During the program's execution, it is desirable that we be able to
+// monitor and control the ensemble as a collective unit."  The mechanism
+// layer already signals per-subjob transitions; EnsembleMonitor aggregates
+// them into the collective view: global state transitions (released,
+// degraded, done, aborted), a live summary of the resource set, and the
+// collective kill operation.
+#pragma once
+
+#include <array>
+#include <functional>
+#include <string>
+
+#include "core/request.hpp"
+
+namespace grid::core {
+
+/// Collective state transitions of the ensemble.
+enum class GlobalEvent : std::uint8_t {
+  kAllPending,   // every live subjob accepted by its local manager
+  kAllActive,    // every live subjob's processes are running
+  kReleased,     // the barrier released (computation configured & running)
+  kDegraded,     // a component failed after release but the ensemble
+                 // continues (the [21]-style partial-failure tolerance)
+  kDone,         // every live subjob ran to completion
+  kAborted,      // the computation was terminated
+};
+
+std::string to_string(GlobalEvent e);
+
+class EnsembleMonitor {
+ public:
+  using EventFn = std::function<void(GlobalEvent)>;
+
+  /// Point-in-time aggregate over the request's subjobs.
+  struct Summary {
+    std::array<std::size_t, 9> by_state{};  // indexed by SubjobState
+    std::size_t live_subjobs = 0;
+    std::int32_t live_processes = 0;
+    std::int32_t released_processes = 0;
+    std::size_t failures = 0;
+    RequestState request_state = RequestState::kEditing;
+
+    std::size_t count(SubjobState s) const {
+      return by_state[static_cast<std::size_t>(s)];
+    }
+  };
+
+  EnsembleMonitor() = default;
+
+  /// Wraps user callbacks so the monitor observes every transition; pass
+  /// the result to create_request, then bind() the created request.
+  RequestCallbacks wrap(RequestCallbacks user);
+
+  void bind(CoallocationRequest* request) { request_ = request; }
+
+  void set_event_handler(EventFn handler) { on_event_ = std::move(handler); }
+
+  Summary summary() const;
+
+  /// Collective control operation (§3.4): kill the whole ensemble.
+  void kill() {
+    if (request_ != nullptr) request_->kill();
+  }
+
+  /// Events observed so far, in order.
+  const std::vector<GlobalEvent>& history() const { return history_; }
+
+ private:
+  void observe(SubjobHandle handle, SubjobState state,
+               const util::Status& why);
+  void emit(GlobalEvent event);
+
+  CoallocationRequest* request_ = nullptr;
+  RequestCallbacks user_;
+  EventFn on_event_;
+  std::vector<GlobalEvent> history_;
+  bool saw_all_pending_ = false;
+  bool saw_all_active_ = false;
+};
+
+}  // namespace grid::core

@@ -1,0 +1,727 @@
+#include "core/request.hpp"
+
+#include <algorithm>
+
+#include "core/coallocator.hpp"
+#include "rsl/parser.hpp"
+
+namespace grid::core {
+namespace {
+
+/// Strips any pre-existing barrier environment and injects this request's
+/// coordinates, as DUROC did with its contact environment variables.
+void inject_barrier_env(rsl::JobRequest& job, net::NodeId contact,
+                        RequestId request, SubjobHandle handle) {
+  std::erase_if(job.environment, [](const auto& kv) {
+    return kv.first == env::kContact || kv.first == env::kRequest ||
+           kv.first == env::kSubjob;
+  });
+  job.environment.emplace_back(std::string(env::kContact),
+                               std::to_string(contact));
+  job.environment.emplace_back(std::string(env::kRequest),
+                               std::to_string(request));
+  job.environment.emplace_back(std::string(env::kSubjob),
+                               std::to_string(handle));
+}
+
+}  // namespace
+
+CoallocationRequest::CoallocationRequest(Coallocator& owner, RequestId id,
+                                         RequestCallbacks callbacks,
+                                         RequestConfig config)
+    : owner_(&owner),
+      id_(id),
+      callbacks_(std::move(callbacks)),
+      config_(config),
+      log_(owner.engine(), "coalloc/req" + std::to_string(id)) {}
+
+CoallocationRequest::~CoallocationRequest() {
+  for (auto& [handle, sj] : slots_) {
+    owner_->engine().cancel(sj.timeout_event);
+    owner_->engine().cancel(sj.probe_event);
+  }
+}
+
+CoallocationRequest::Subjob* CoallocationRequest::find(SubjobHandle handle) {
+  auto it = slots_.find(handle);
+  return it == slots_.end() ? nullptr : &it->second;
+}
+
+const CoallocationRequest::Subjob* CoallocationRequest::find(
+    SubjobHandle handle) const {
+  auto it = slots_.find(handle);
+  return it == slots_.end() ? nullptr : &it->second;
+}
+
+// ---- editing ---------------------------------------------------------------
+
+util::Result<SubjobHandle> CoallocationRequest::add_subjob(
+    rsl::JobRequest request) {
+  if (state_ != RequestState::kEditing) {
+    return util::Status(util::ErrorCode::kFailedPrecondition,
+                        "request contents may not be changed once committed");
+  }
+  const SubjobHandle handle = next_handle_++;
+  Subjob sj;
+  sj.handle = handle;
+  sj.request = std::move(request);
+  order_.push_back(handle);
+  slots_.emplace(handle, std::move(sj));
+  if (started_) enqueue_submission(handle);
+  return handle;
+}
+
+util::Status CoallocationRequest::add_rsl(const std::string& rsl_text) {
+  auto spec = rsl::parse_multi_request(rsl_text);
+  if (!spec.is_ok()) return spec.status();
+  auto jobs = rsl::parse_job_requests(spec.value());
+  if (!jobs.is_ok()) return jobs.status();
+  for (rsl::JobRequest& j : jobs.value()) {
+    if (auto added = add_subjob(std::move(j)); !added.is_ok()) {
+      return added.status();
+    }
+  }
+  return util::Status::ok();
+}
+
+util::Status CoallocationRequest::remove_subjob(SubjobHandle handle) {
+  if (state_ != RequestState::kEditing) {
+    return {util::ErrorCode::kFailedPrecondition,
+            "request contents may not be changed once committed"};
+  }
+  Subjob* sj = find(handle);
+  if (sj == nullptr || sj->state == SubjobState::kDeleted) {
+    return {util::ErrorCode::kNotFound, "unknown subjob"};
+  }
+  owner_->engine().cancel(sj->timeout_event);
+  owner_->engine().cancel(sj->probe_event);
+  cancel_gram_job(*sj);
+  abort_subjob_processes(*sj, "subjob removed from request");
+  sj->state = SubjobState::kDeleted;
+  notify_subjob(*sj);
+  return util::Status::ok();
+}
+
+util::Status CoallocationRequest::substitute_subjob(SubjobHandle handle,
+                                                    rsl::JobRequest request) {
+  if (state_ != RequestState::kEditing) {
+    return {util::ErrorCode::kFailedPrecondition,
+            "request contents may not be changed once committed"};
+  }
+  Subjob* sj = find(handle);
+  if (sj == nullptr || sj->state == SubjobState::kDeleted) {
+    return {util::ErrorCode::kNotFound, "unknown subjob"};
+  }
+  owner_->engine().cancel(sj->timeout_event);
+  owner_->engine().cancel(sj->probe_event);
+  cancel_gram_job(*sj);
+  abort_subjob_processes(*sj, "subjob substituted");
+  ++sj->incarnation;
+  sj->request = std::move(request);
+  sj->state = SubjobState::kUnsubmitted;
+  sj->gram_job = 0;
+  sj->gatekeeper = net::kInvalidNode;
+  sj->process_nodes.clear();
+  sj->checked.clear();
+  sj->checked_count = 0;
+  sj->probe_misses = 0;
+  sj->early_checkins.clear();
+  sj->failure = util::Status::ok();
+  sj->submitted_at = sj->accepted_at = sj->active_at = sj->checked_in_at = -1;
+  notify_subjob(*sj);
+  if (started_) enqueue_submission(handle);
+  return util::Status::ok();
+}
+
+// ---- submission pipeline ---------------------------------------------------
+
+void CoallocationRequest::start() {
+  if (started_) return;
+  started_ = true;
+  for (SubjobHandle h : order_) {
+    Subjob* sj = find(h);
+    if (sj != nullptr && sj->state == SubjobState::kUnsubmitted &&
+        !sj->queued) {
+      enqueue_submission(h);
+    }
+  }
+}
+
+void CoallocationRequest::enqueue_submission(SubjobHandle handle) {
+  Subjob* sj = find(handle);
+  if (sj == nullptr) return;
+  sj->queued = true;
+  submit_queue_.push_back(handle);
+  pump_submissions();
+}
+
+void CoallocationRequest::pump_submissions() {
+  // Subjob requests are submitted sequentially (§4.2, Figure 5): the next
+  // request leaves the client only after the previous accept reply arrives.
+  // Remote processing of earlier subjobs overlaps with later submissions.
+  if (submission_in_flight_ || hold_handle_ != 0 ||
+      is_request_terminal(state_)) {
+    return;
+  }
+  while (!submit_queue_.empty()) {
+    const SubjobHandle handle = submit_queue_.front();
+    submit_queue_.pop_front();
+    Subjob* sj = find(handle);
+    if (sj == nullptr || !sj->queued ||
+        sj->state != SubjobState::kUnsubmitted) {
+      continue;
+    }
+    sj->queued = false;
+    const auto& resolver = owner_->resolver();
+    if (!resolver) {
+      fail_subjob(handle, util::Status(util::ErrorCode::kInternal,
+                                       "no contact resolver installed"));
+      continue;
+    }
+    auto gatekeeper = resolver(sj->request.resource_manager_contact);
+    if (!gatekeeper.is_ok()) {
+      fail_subjob(handle, gatekeeper.status());
+      continue;
+    }
+    sj->gatekeeper = gatekeeper.value();
+    sj->state = SubjobState::kSubmitting;
+    sj->submitted_at = owner_->engine().now();
+    arm_timeout(*sj);
+    rsl::JobRequest to_send = sj->request;
+    inject_barrier_env(to_send, owner_->endpoint().id(), id_, handle);
+    const std::uint32_t inc = sj->incarnation;
+    notify_subjob(*sj);
+    submission_in_flight_ = true;
+    owner_->gram().submit(
+        sj->gatekeeper, to_send.to_spec().to_string(), config_.rpc_timeout,
+        [this, handle, inc](util::Result<gram::JobId> result) {
+          submission_in_flight_ = false;
+          on_accepted(handle, inc, std::move(result));
+          pump_submissions();
+        },
+        [this, handle, inc](const gram::JobStateChange& change) {
+          on_gram_state(handle, inc, change);
+        });
+    return;  // one submission at a time
+  }
+}
+
+void CoallocationRequest::on_accepted(SubjobHandle handle,
+                                      std::uint32_t incarnation,
+                                      util::Result<gram::JobId> result) {
+  Subjob* sj = find(handle);
+  if (sj == nullptr || sj->incarnation != incarnation ||
+      sj->state != SubjobState::kSubmitting) {
+    // The slot was edited or failed while the request was in flight; any
+    // job that did get created is an orphan — reap it.
+    if (result.is_ok() && sj != nullptr &&
+        sj->gatekeeper != net::kInvalidNode) {
+      owner_->gram().cancel(sj->gatekeeper, result.value(),
+                            config_.rpc_timeout, nullptr);
+    }
+    return;
+  }
+  if (!result.is_ok()) {
+    fail_subjob(handle, result.status());
+    return;
+  }
+  sj->gram_job = result.value();
+  sj->accepted_at = owner_->engine().now();
+  sj->state = SubjobState::kPending;
+  if (config_.serialize_until_checkin) hold_handle_ = handle;
+  arm_liveness_probe(*sj);
+  notify_subjob(*sj);
+  // Replay check-ins that raced ahead of this accept reply.
+  if (!sj->early_checkins.empty()) {
+    auto buffered = std::move(sj->early_checkins);
+    sj->early_checkins.clear();
+    for (auto& [src, msg] : buffered) {
+      on_checkin(src, msg);
+    }
+  }
+}
+
+void CoallocationRequest::on_gram_state(SubjobHandle handle,
+                                        std::uint32_t incarnation,
+                                        const gram::JobStateChange& change) {
+  Subjob* sj = find(handle);
+  if (sj == nullptr || sj->incarnation != incarnation) return;
+  if (is_request_terminal(state_)) return;
+  switch (change.state) {
+    case gram::JobState::kActive:
+      if (sj->state == SubjobState::kPending) {
+        sj->state = SubjobState::kActive;
+        sj->active_at = owner_->engine().now();
+        notify_subjob(*sj);
+      }
+      return;
+    case gram::JobState::kFailed: {
+      if (sj->state == SubjobState::kFailed ||
+          sj->state == SubjobState::kDeleted) {
+        return;
+      }
+      const util::Status why(change.error, "GRAM: " + change.message);
+      if (sj->state == SubjobState::kReleased) {
+        // Post-release failure: a monitoring event, not (by default) fatal
+        // to the ensemble (§3.4).
+        sj->state = SubjobState::kFailed;
+        sj->failure = why;
+        notify_subjob(*sj);
+        if (config_.abort_on_post_release_failure) {
+          abort("post-release failure: " + change.message);
+        } else {
+          maybe_done();
+        }
+        return;
+      }
+      fail_subjob(handle, why);
+      return;
+    }
+    case gram::JobState::kDone:
+      if (sj->state == SubjobState::kReleased) {
+        sj->state = SubjobState::kDone;
+        notify_subjob(*sj);
+        maybe_done();
+      } else if (!is_subjob_terminal(sj->state)) {
+        fail_subjob(handle,
+                    util::Status(util::ErrorCode::kInternal,
+                                 "job exited before barrier release"));
+      }
+      return;
+    case gram::JobState::kPending:
+    case gram::JobState::kUnsubmitted:
+      return;
+  }
+}
+
+// ---- barrier ----------------------------------------------------------------
+
+void CoallocationRequest::on_checkin(net::NodeId src,
+                                     const CheckinMessage& msg) {
+  Subjob* sj = find(msg.subjob);
+  if (sj == nullptr || is_request_terminal(state_)) {
+    // Unknown slot or dead request: tell the orphan process to exit.
+    AbortMessage abort_msg{id_, "request no longer live"};
+    util::Writer w;
+    abort_msg.encode(w);
+    owner_->endpoint().notify(src, kNotifyAbort, w.take());
+    return;
+  }
+  if (sj->gram_job == 0 && sj->state == SubjobState::kSubmitting) {
+    // The check-in overtook the GRAM accept reply (possible under latency
+    // jitter): hold it until the job id is known.
+    sj->early_checkins.emplace_back(src, msg);
+    return;
+  }
+  if (msg.gram_job != sj->gram_job || is_subjob_terminal(sj->state)) {
+    // Stale incarnation (substituted or failed slot): reap the process.
+    AbortMessage abort_msg{id_, "subjob superseded"};
+    util::Writer w;
+    abort_msg.encode(w);
+    owner_->endpoint().notify(src, kNotifyAbort, w.take());
+    return;
+  }
+  if (!msg.ok) {
+    fail_subjob(msg.subjob,
+                util::Status(util::ErrorCode::kInternal,
+                             "process " + std::to_string(msg.rank) +
+                                 " reported failed startup: " + msg.message));
+    return;
+  }
+  const auto count = static_cast<std::size_t>(sj->request.count);
+  if (sj->process_nodes.size() != count) {
+    sj->process_nodes.assign(count, net::kInvalidNode);
+    sj->checked.assign(count, false);
+  }
+  if (msg.rank < 0 || static_cast<std::size_t>(msg.rank) >= count) {
+    GRID_LOG(log_, kWarn) << "check-in with out-of-range rank " << msg.rank;
+    return;
+  }
+  const auto rank = static_cast<std::size_t>(msg.rank);
+  if (sj->checked[rank]) return;  // duplicate
+  sj->checked[rank] = true;
+  sj->process_nodes[rank] = src;
+  ++sj->checked_count;
+  if (sj->checked_count == sj->request.count) {
+    sj->state = SubjobState::kCheckedIn;
+    sj->checked_in_at = owner_->engine().now();
+    owner_->engine().cancel(sj->timeout_event);
+    owner_->engine().cancel(sj->probe_event);
+    notify_subjob(*sj);
+    if (hold_handle_ == sj->handle) {
+      hold_handle_ = 0;
+      pump_submissions();
+    }
+    if (state_ == RequestState::kReleased) {
+      // A late optional subjob joins the running computation (§3.2).
+      release_subjob(*sj);
+    } else {
+      maybe_release();
+    }
+  }
+}
+
+void CoallocationRequest::maybe_release() {
+  if (state_ != RequestState::kCommitted) return;
+  std::size_t live = 0;
+  for (SubjobHandle h : order_) {
+    const Subjob* sj = find(h);
+    if (sj == nullptr || !is_live(*sj)) continue;
+    ++live;
+    if (sj->request.start_type == rsl::SubjobStartType::kOptional) continue;
+    if (sj->state != SubjobState::kCheckedIn) return;  // barrier not full
+  }
+  if (live == 0) {
+    abort("no live subjobs remain in the committed request");
+    return;
+  }
+  // Release: build the final configuration over fully checked-in subjobs
+  // (insertion order), then let every process out of the barrier.
+  state_ = RequestState::kReleased;
+  released_at_ = owner_->engine().now();
+  config_table_ = RuntimeConfig{};
+  config_table_.request = id_;
+  for (SubjobHandle h : order_) {
+    Subjob* sj = find(h);
+    if (sj == nullptr || !is_live(*sj)) continue;
+    if (sj->state != SubjobState::kCheckedIn) continue;  // pending optional
+    SubjobLayout layout;
+    layout.subjob = sj->handle;
+    layout.index = static_cast<std::int32_t>(config_table_.subjobs.size());
+    layout.size = sj->request.count;
+    layout.rank_base = config_table_.total_processes;
+    layout.leader = sj->process_nodes.empty() ? net::kInvalidNode
+                                              : sj->process_nodes.front();
+    layout.contact = sj->request.resource_manager_contact;
+    config_table_.total_processes += sj->request.count;
+    config_table_.subjobs.push_back(std::move(layout));
+  }
+  for (SubjobHandle h : order_) {
+    Subjob* sj = find(h);
+    if (sj == nullptr || sj->state != SubjobState::kCheckedIn) continue;
+    sj->state = SubjobState::kReleased;
+    sj->released = true;
+    sj->released_at = owner_->engine().now();
+    for (std::int32_t rank = 0; rank < sj->request.count; ++rank) {
+      send_release(*sj, rank);
+    }
+    notify_subjob(*sj);
+  }
+  if (callbacks_.on_released) callbacks_.on_released(config_table_);
+}
+
+void CoallocationRequest::release_subjob(Subjob& sj) {
+  // Late join: extend the configuration without renumbering existing ranks.
+  SubjobLayout layout;
+  layout.subjob = sj.handle;
+  layout.index = static_cast<std::int32_t>(config_table_.subjobs.size());
+  layout.size = sj.request.count;
+  layout.rank_base = config_table_.total_processes;
+  layout.leader = sj.process_nodes.empty() ? net::kInvalidNode
+                                           : sj.process_nodes.front();
+  layout.contact = sj.request.resource_manager_contact;
+  config_table_.total_processes += sj.request.count;
+  config_table_.subjobs.push_back(std::move(layout));
+  sj.state = SubjobState::kReleased;
+  sj.released = true;
+  sj.released_at = owner_->engine().now();
+  for (std::int32_t rank = 0; rank < sj.request.count; ++rank) {
+    send_release(sj, rank);
+  }
+  notify_subjob(sj);
+}
+
+void CoallocationRequest::send_release(const Subjob& sj, std::int32_t rank) {
+  const SubjobLayout* layout = nullptr;
+  for (const SubjobLayout& l : config_table_.subjobs) {
+    if (l.subjob == sj.handle) {
+      layout = &l;
+      break;
+    }
+  }
+  if (layout == nullptr) return;
+  ReleaseMessage msg;
+  msg.request = id_;
+  msg.info.config = config_table_;
+  msg.info.subjob_index = layout->index;
+  msg.info.local_rank = rank;
+  msg.info.global_rank = layout->rank_base + rank;
+  msg.info.subjob_members = sj.process_nodes;
+  util::Writer w;
+  msg.encode(w);
+  owner_->endpoint().notify(sj.process_nodes[static_cast<std::size_t>(rank)],
+                            kNotifyRelease, w.take());
+}
+
+// ---- commit / abort / failure ----------------------------------------------
+
+util::Status CoallocationRequest::commit() {
+  if (state_ != RequestState::kEditing) {
+    return {util::ErrorCode::kFailedPrecondition,
+            "commit is only valid from the editing phase"};
+  }
+  if (order_.empty()) {
+    return {util::ErrorCode::kFailedPrecondition,
+            "cannot commit an empty request"};
+  }
+  start();  // commit implies the pipeline is running
+  state_ = RequestState::kCommitted;
+  maybe_release();
+  return util::Status::ok();
+}
+
+void CoallocationRequest::arm_timeout(Subjob& sj) {
+  if (config_.startup_timeout <= 0) return;
+  owner_->engine().cancel(sj.timeout_event);
+  sj.timeout_event = owner_->engine().schedule_after(
+      config_.startup_timeout, [this, handle = sj.handle] {
+        Subjob* s = find(handle);
+        if (s == nullptr || is_subjob_terminal(s->state) ||
+            s->state == SubjobState::kCheckedIn ||
+            s->state == SubjobState::kReleased) {
+          return;
+        }
+        fail_subjob(handle,
+                    util::Status(util::ErrorCode::kTimeout,
+                                 "subjob did not check in before the startup "
+                                 "deadline"));
+      });
+}
+
+void CoallocationRequest::arm_liveness_probe(Subjob& sj) {
+  if (config_.liveness_probe_interval <= 0) return;
+  owner_->engine().cancel(sj.probe_event);
+  sj.probe_event = owner_->engine().schedule_after(
+      config_.liveness_probe_interval,
+      [this, handle = sj.handle, inc = sj.incarnation] {
+        probe_liveness(handle, inc);
+      });
+}
+
+void CoallocationRequest::probe_liveness(SubjobHandle handle,
+                                         std::uint32_t incarnation) {
+  Subjob* sj = find(handle);
+  if (sj == nullptr || sj->incarnation != incarnation ||
+      is_request_terminal(state_)) {
+    return;
+  }
+  if (sj->state != SubjobState::kPending &&
+      sj->state != SubjobState::kActive) {
+    return;  // barrier reached or slot edited: probing is over
+  }
+  owner_->gram().ping(
+      sj->gatekeeper, config_.rpc_timeout,
+      [this, handle, incarnation](util::Status status) {
+        Subjob* s = find(handle);
+        if (s == nullptr || s->incarnation != incarnation ||
+            is_request_terminal(state_) ||
+            (s->state != SubjobState::kPending &&
+             s->state != SubjobState::kActive)) {
+          return;
+        }
+        if (status.is_ok()) {
+          s->probe_misses = 0;
+          arm_liveness_probe(*s);
+          return;
+        }
+        if (++s->probe_misses >= config_.liveness_failures_allowed) {
+          fail_subjob(handle,
+                      util::Status(util::ErrorCode::kUnavailable,
+                                   "resource manager unresponsive to " +
+                                       std::to_string(s->probe_misses) +
+                                       " consecutive liveness probes"));
+          return;
+        }
+        arm_liveness_probe(*s);
+      });
+}
+
+void CoallocationRequest::cancel_gram_job(Subjob& sj) {
+  if (sj.gram_job == 0 || sj.gatekeeper == net::kInvalidNode) return;
+  owner_->gram().forget(sj.gram_job);
+  owner_->gram().cancel(sj.gatekeeper, sj.gram_job, config_.rpc_timeout,
+                        nullptr);
+  sj.gram_job = 0;
+}
+
+void CoallocationRequest::abort_subjob_processes(Subjob& sj,
+                                                 const std::string& reason) {
+  AbortMessage msg{id_, reason};
+  util::Writer w;
+  msg.encode(w);
+  const util::Bytes payload = w.take();
+  for (std::size_t rank = 0; rank < sj.process_nodes.size(); ++rank) {
+    if (sj.checked[rank] && sj.process_nodes[rank] != net::kInvalidNode) {
+      owner_->endpoint().notify(sj.process_nodes[rank], kNotifyAbort,
+                                util::Bytes(payload));
+    }
+  }
+}
+
+void CoallocationRequest::fail_subjob(SubjobHandle handle, util::Status why) {
+  Subjob* sj = find(handle);
+  if (sj == nullptr || is_subjob_terminal(sj->state)) return;
+  owner_->engine().cancel(sj->timeout_event);
+  owner_->engine().cancel(sj->probe_event);
+  cancel_gram_job(*sj);
+  abort_subjob_processes(*sj, "subjob failed: " + why.message());
+  sj->state = SubjobState::kFailed;
+  sj->failure = why;
+  if (hold_handle_ == handle) {
+    hold_handle_ = 0;
+    pump_submissions();
+  }
+  GRID_LOG(log_, kInfo) << "subjob " << handle << " ("
+                        << sj->request.resource_manager_contact
+                        << ") failed: " << why.to_string();
+  const rsl::SubjobStartType type = sj->request.start_type;
+  // The agent callback runs before category handling so a failure can be
+  // repaired (substitute/remove) in the same turn (§3.2).
+  notify_subjob(*sj);
+  if (is_request_terminal(state_)) return;  // agent aborted in the callback
+  // If the agent edited the slot during the callback it is no longer a
+  // failed member of the request: category handling does not apply.
+  sj = find(handle);
+  if (sj == nullptr || sj->state != SubjobState::kFailed) return;
+  switch (type) {
+    case rsl::SubjobStartType::kRequired:
+      abort("required subjob on '" + sj->request.resource_manager_contact +
+            "' failed: " + why.message());
+      return;
+    case rsl::SubjobStartType::kInteractive:
+      if (state_ == RequestState::kCommitted) {
+        // Edits are frozen after commit, so an interactive failure that the
+        // agent could not repair beforehand is unrecoverable.
+        abort("interactive subjob on '" +
+              sj->request.resource_manager_contact +
+              "' failed after commit: " + why.message());
+      }
+      return;
+    case rsl::SubjobStartType::kOptional:
+      if (state_ == RequestState::kReleased) maybe_done();
+      return;
+  }
+}
+
+void CoallocationRequest::abort(const std::string& reason) {
+  if (is_request_terminal(state_)) return;
+  state_ = RequestState::kAborted;  // set first: callbacks see a dead request
+  for (SubjobHandle h : order_) {
+    Subjob* sj = find(h);
+    if (sj == nullptr) continue;
+    owner_->engine().cancel(sj->timeout_event);
+    owner_->engine().cancel(sj->probe_event);
+    if (sj->state == SubjobState::kDeleted) continue;
+    cancel_gram_job(*sj);
+    abort_subjob_processes(*sj, reason);
+    if (sj->state != SubjobState::kFailed &&
+        sj->state != SubjobState::kDone) {
+      sj->state = SubjobState::kFailed;
+      sj->failure = util::Status(util::ErrorCode::kAborted, reason);
+      notify_subjob(*sj);
+    }
+  }
+  finish(util::Status(util::ErrorCode::kAborted, reason));
+}
+
+void CoallocationRequest::maybe_done() {
+  if (state_ != RequestState::kReleased) return;
+  bool any = false;
+  for (SubjobHandle h : order_) {
+    const Subjob* sj = find(h);
+    if (sj == nullptr || !is_live(*sj)) continue;
+    any = true;
+    if (sj->state != SubjobState::kDone) return;
+  }
+  if (!any) {
+    finish(util::Status(util::ErrorCode::kAborted,
+                        "every subjob failed after release"));
+    return;
+  }
+  finish(util::Status::ok());
+}
+
+void CoallocationRequest::finish(util::Status status) {
+  if (!is_request_terminal(state_)) {
+    state_ = status.is_ok() ? RequestState::kDone : RequestState::kAborted;
+  }
+  if (callbacks_.on_terminal) {
+    auto cb = callbacks_.on_terminal;  // survives agent-side destroy_request
+    cb(status);
+  }
+}
+
+// ---- monitoring --------------------------------------------------------------
+
+void CoallocationRequest::notify_subjob(const Subjob& sj) {
+  if (callbacks_.on_subjob) {
+    callbacks_.on_subjob(sj.handle, sj.state, sj.failure);
+  }
+}
+
+std::vector<SubjobHandle> CoallocationRequest::subjobs() const {
+  return order_;
+}
+
+util::Result<SubjobView> CoallocationRequest::subjob(
+    SubjobHandle handle) const {
+  const Subjob* sj = find(handle);
+  if (sj == nullptr) {
+    return util::Status(util::ErrorCode::kNotFound, "unknown subjob");
+  }
+  SubjobView v;
+  v.handle = sj->handle;
+  v.state = sj->state;
+  v.start_type = sj->request.start_type;
+  v.contact = sj->request.resource_manager_contact;
+  v.label = sj->request.label;
+  v.count = sj->request.count;
+  v.checked_in = sj->checked_count;
+  v.gram_job = sj->gram_job;
+  v.failure = sj->failure;
+  v.submitted_at = sj->submitted_at;
+  v.accepted_at = sj->accepted_at;
+  v.active_at = sj->active_at;
+  v.checked_in_at = sj->checked_in_at;
+  v.released_at = sj->released_at;
+  return v;
+}
+
+util::Result<rsl::JobRequest> CoallocationRequest::subjob_request(
+    SubjobHandle handle) const {
+  const Subjob* sj = find(handle);
+  if (sj == nullptr) {
+    return util::Status(util::ErrorCode::kNotFound, "unknown subjob");
+  }
+  return sj->request;
+}
+
+SubjobHandle CoallocationRequest::find_labeled(std::string_view label) const {
+  for (SubjobHandle h : order_) {
+    const Subjob* sj = find(h);
+    if (sj != nullptr && is_live(*sj) && sj->request.label == label) {
+      return h;
+    }
+  }
+  return 0;
+}
+
+std::size_t CoallocationRequest::live_subjob_count() const {
+  std::size_t n = 0;
+  for (SubjobHandle h : order_) {
+    const Subjob* sj = find(h);
+    if (sj != nullptr && is_live(*sj)) ++n;
+  }
+  return n;
+}
+
+std::int32_t CoallocationRequest::total_live_processes() const {
+  std::int32_t n = 0;
+  for (SubjobHandle h : order_) {
+    const Subjob* sj = find(h);
+    if (sj != nullptr && is_live(*sj)) n += sj->request.count;
+  }
+  return n;
+}
+
+}  // namespace grid::core

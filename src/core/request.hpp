@@ -1,0 +1,250 @@
+// CoallocationRequest: the co-allocation mechanism layer (paper §3).
+//
+// One instance manages one multi-resource request through the distributed
+// two-phase commit of §3.2:
+//
+//   1. subjob GRAM requests are issued *sequentially* (the property that
+//      produces Figure 4's slope) while their remote processing overlaps;
+//   2. application processes perform local checks and check in to the
+//      barrier with their own success verdict;
+//   3. the agent edits the request (add / remove / substitute) until it
+//      calls commit(); once committed and every live non-optional subjob
+//      has fully checked in, the barrier is released with the final
+//      configuration.
+//
+// Failure semantics by category (§3.2):
+//   required     failure or timeout aborts the whole computation, before
+//                or after commit;
+//   interactive  failure fires the agent callback; before commit the agent
+//                may remove/substitute and the request continues — after
+//                commit an unrecoverable interactive failure aborts;
+//   optional     failures are ignored; the barrier never waits for
+//                optional subjobs, which join as and when they check in
+//                (including after release).
+//
+// Both co-allocators are built from this one mechanism set: DUROC exposes
+// it directly; GRAB (atomic transactions) is the degenerate configuration
+// "all subjobs required, commit immediately, no edits" (core/grab.hpp).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "core/barrier_protocol.hpp"
+#include "core/runtime.hpp"
+#include "core/types.hpp"
+#include "gram/client.hpp"
+#include "rsl/attributes.hpp"
+#include "simkit/log.hpp"
+
+namespace grid::core {
+
+/// Resolves a resourceManagerContact string to a gatekeeper address.
+using ContactResolver =
+    std::function<util::Result<net::NodeId>(const std::string&)>;
+
+struct RequestConfig {
+  /// Timeout of each protocol phase of a GRAM interaction.
+  sim::Time rpc_timeout = 30 * sim::kSecond;
+  /// Deadline from subjob submission to full barrier check-in; expiry is a
+  /// failure handled per the subjob's category.  0 disables.
+  sim::Time startup_timeout = 10 * sim::kMinute;
+  /// Post-release GRAM failure policy: true kills the whole computation,
+  /// false reports the event and lets the application continue (§3.4).
+  bool abort_on_post_release_failure = false;
+  /// Ablation knob (bench/ablate_pipelining): when true the pipeline holds
+  /// the next subjob until the previous one has fully checked in — the
+  /// "zero concurrency" behaviour Figure 4 compares against.  The default
+  /// (false) overlaps remote processing with later submissions.
+  bool serialize_until_checkin = false;
+  /// When > 0, the co-allocator pings each waiting subjob's gatekeeper on
+  /// this interval; `liveness_failures_allowed` consecutive unanswered
+  /// probes fail the subjob immediately instead of waiting for the full
+  /// startup deadline (§3.4: failure modes "ranging from an error report
+  /// to lack of progress").  0 disables probing.
+  sim::Time liveness_probe_interval = 0;
+  int liveness_failures_allowed = 2;
+};
+
+/// A subjob slot as visible to co-allocation agents.
+struct SubjobView {
+  SubjobHandle handle = 0;
+  SubjobState state = SubjobState::kUnsubmitted;
+  rsl::SubjobStartType start_type = rsl::SubjobStartType::kRequired;
+  std::string contact;
+  std::string label;
+  std::int32_t count = 0;
+  std::int32_t checked_in = 0;
+  gram::JobId gram_job = 0;
+  util::Status failure;
+  sim::Time submitted_at = -1;
+  sim::Time accepted_at = -1;
+  sim::Time active_at = -1;
+  sim::Time checked_in_at = -1;
+  sim::Time released_at = -1;
+};
+
+struct RequestCallbacks {
+  /// Fired on every subjob state transition.  For failures the status
+  /// carries the cause; interactive-failure edits are made from here.
+  std::function<void(SubjobHandle, SubjobState, const util::Status&)>
+      on_subjob;
+  /// Fired once when the barrier releases, with the final configuration.
+  std::function<void(const RuntimeConfig&)> on_released;
+  /// Fired once when the request terminates: OK when every live subjob ran
+  /// to completion, an error when aborted.
+  std::function<void(const util::Status&)> on_terminal;
+};
+
+class Coallocator;
+
+class CoallocationRequest {
+ public:
+  CoallocationRequest(Coallocator& owner, RequestId id,
+                      RequestCallbacks callbacks, RequestConfig config);
+  ~CoallocationRequest();
+
+  CoallocationRequest(const CoallocationRequest&) = delete;
+  CoallocationRequest& operator=(const CoallocationRequest&) = delete;
+
+  RequestId id() const { return id_; }
+  RequestState state() const { return state_; }
+
+  // ---- editing operations (§3.2: add / delete / substitute) --------------
+
+  /// Appends a subjob.  Before start() it is queued; after start() it is
+  /// submitted when the pipeline reaches it.  Rejected after commit().
+  util::Result<SubjobHandle> add_subjob(rsl::JobRequest request);
+
+  /// Parses a '+' multi-request and adds every subjob.
+  util::Status add_rsl(const std::string& rsl_text);
+
+  /// Edits a subjob out of the request.  Its GRAM job (if any) is
+  /// cancelled and its processes aborted.  Rejected after commit().
+  util::Status remove_subjob(SubjobHandle handle);
+
+  /// Replaces a subjob's specification; the slot keeps its handle and is
+  /// re-submitted.  Rejected after commit().
+  util::Status substitute_subjob(SubjobHandle handle, rsl::JobRequest request);
+
+  // ---- lifecycle ----------------------------------------------------------
+
+  /// Begins the sequential submission pipeline (idempotent).
+  void start();
+
+  /// Enters the commit phase: edits are frozen and the barrier releases
+  /// once every live non-optional subjob has checked in.  Fails if no
+  /// submissions were started or the request already left the edit phase.
+  util::Status commit();
+
+  /// Aborts the computation: cancels all GRAM jobs, aborts all checked-in
+  /// processes, and reports kAborted.
+  void abort(const std::string& reason);
+
+  /// Control operation (§3.4): kills the ensemble, valid in any phase.
+  void kill() { abort("killed by control operation"); }
+
+  // ---- monitoring (§3.4) --------------------------------------------------
+
+  std::vector<SubjobHandle> subjobs() const;
+  util::Result<SubjobView> subjob(SubjobHandle handle) const;
+  /// The full specification currently bound to a slot (agents use this to
+  /// build substitutes from the failed subjob's shape).
+  util::Result<rsl::JobRequest> subjob_request(SubjobHandle handle) const;
+  /// First live subjob whose RSL label matches; 0 when absent.  Labels are
+  /// how Figure 1-style requests name their logical pieces.
+  SubjobHandle find_labeled(std::string_view label) const;
+  /// Live subjobs: edited in and not failed/deleted.
+  std::size_t live_subjob_count() const;
+  std::int32_t total_live_processes() const;
+  sim::Time released_at() const { return released_at_; }
+
+  /// The configuration sent at release (valid once state >= kReleased).
+  const RuntimeConfig& runtime_config() const { return config_table_; }
+
+ private:
+  friend class Coallocator;
+
+  struct Subjob {
+    SubjobHandle handle = 0;
+    rsl::JobRequest request;
+    SubjobState state = SubjobState::kUnsubmitted;
+    std::uint32_t incarnation = 0;
+    net::NodeId gatekeeper = net::kInvalidNode;
+    gram::JobId gram_job = 0;
+    std::vector<net::NodeId> process_nodes;  // indexed by local rank
+    std::vector<bool> checked;
+    std::int32_t checked_count = 0;
+    bool queued = false;    // waiting in the submission pipeline
+    bool released = false;
+    util::Status failure;
+    sim::EventId timeout_event;
+    sim::EventId probe_event;
+    int probe_misses = 0;
+    /// Check-ins that overtook the GRAM accept reply on a jittery network;
+    /// replayed once the job id is known.
+    std::vector<std::pair<net::NodeId, CheckinMessage>> early_checkins;
+    sim::Time submitted_at = -1;
+    sim::Time accepted_at = -1;
+    sim::Time active_at = -1;
+    sim::Time checked_in_at = -1;
+    sim::Time released_at = -1;
+  };
+
+  // Submission pipeline.
+  void enqueue_submission(SubjobHandle handle);
+  void pump_submissions();
+  void on_accepted(SubjobHandle handle, std::uint32_t incarnation,
+                   util::Result<gram::JobId> result);
+  void on_gram_state(SubjobHandle handle, std::uint32_t incarnation,
+                     const gram::JobStateChange& change);
+
+  // Barrier.
+  void on_checkin(net::NodeId src, const CheckinMessage& msg);
+  void maybe_release();
+  void release_subjob(Subjob& sj);
+  void send_release(const Subjob& sj, std::int32_t rank);
+
+  // Failure handling.
+  void fail_subjob(SubjobHandle handle, util::Status why);
+  void abort_subjob_processes(Subjob& sj, const std::string& reason);
+  void cancel_gram_job(Subjob& sj);
+  void arm_timeout(Subjob& sj);
+  void arm_liveness_probe(Subjob& sj);
+  void probe_liveness(SubjobHandle handle, std::uint32_t incarnation);
+  void maybe_done();
+  void finish(util::Status status);
+
+  void notify_subjob(const Subjob& sj);
+  Subjob* find(SubjobHandle handle);
+  const Subjob* find(SubjobHandle handle) const;
+  bool is_live(const Subjob& sj) const {
+    return sj.state != SubjobState::kFailed &&
+           sj.state != SubjobState::kDeleted;
+  }
+
+  Coallocator* owner_;
+  RequestId id_;
+  RequestCallbacks callbacks_;
+  RequestConfig config_;
+  util::Logger log_;
+
+  RequestState state_ = RequestState::kEditing;
+  bool started_ = false;
+  bool submission_in_flight_ = false;
+  SubjobHandle hold_handle_ = 0;  // serialize_until_checkin gate
+  std::deque<SubjobHandle> submit_queue_;
+  std::vector<SubjobHandle> order_;  // insertion order of slots
+  std::unordered_map<SubjobHandle, Subjob> slots_;
+  SubjobHandle next_handle_ = 1;
+  RuntimeConfig config_table_;
+  sim::Time released_at_ = -1;
+};
+
+}  // namespace grid::core

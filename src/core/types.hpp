@@ -1,0 +1,56 @@
+// Core co-allocation types: request and subjob identities and states.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "simkit/status.hpp"
+#include "simkit/time.hpp"
+
+namespace grid::core {
+
+/// Identity of a co-allocation request, unique per co-allocator.
+using RequestId = std::uint64_t;
+
+/// Stable identity of a subjob slot within a request.  A handle survives
+/// substitution (the slot is re-submitted with a new GRAM job underneath),
+/// which is what lets agents reason about "the same resource slot" across
+/// interactive edits.
+using SubjobHandle = std::uint64_t;
+
+/// Subjob lifecycle within the co-allocation protocol (paper §3.2 + §4.1).
+enum class SubjobState : std::uint8_t {
+  kUnsubmitted = 0,  // edited into the request, not yet sent
+  kSubmitting,       // GSI handshake / GRAM request in flight
+  kPending,          // accepted by the gatekeeper, queued locally
+  kActive,           // processes created by the local scheduler
+  kCheckedIn,        // every process reported successful startup (barrier)
+  kReleased,         // barrier exited; application running
+  kDone,             // all processes exited successfully
+  kFailed,           // failed, timed out, or was terminated
+  kDeleted,          // edited out of the request
+};
+
+std::string to_string(SubjobState s);
+
+constexpr bool is_subjob_terminal(SubjobState s) {
+  return s == SubjobState::kDone || s == SubjobState::kFailed ||
+         s == SubjobState::kDeleted;
+}
+
+/// Overall state of a co-allocation request.
+enum class RequestState : std::uint8_t {
+  kEditing = 0,  // accepting edits; submissions may be in flight
+  kCommitted,    // commit issued; waiting for the barrier to fill
+  kReleased,     // barrier released; monitoring/control phase
+  kDone,         // every live subjob ran to completion
+  kAborted,      // terminated (required failure, explicit abort, or kill)
+};
+
+std::string to_string(RequestState s);
+
+constexpr bool is_request_terminal(RequestState s) {
+  return s == RequestState::kDone || s == RequestState::kAborted;
+}
+
+}  // namespace grid::core

@@ -1,0 +1,176 @@
+#include "gram/client.hpp"
+
+namespace grid::gram {
+
+Client::Client(net::Endpoint& endpoint, const gsi::CertificateAuthority& ca,
+               gsi::Credential identity, gsi::CostModel gsi_costs)
+    : endpoint_(&endpoint),
+      gsi_(endpoint, ca, std::move(identity), gsi_costs) {
+  endpoint_->register_notify(
+      kNotifyJobState, [this](net::NodeId src, util::Reader& payload) {
+        on_state_notify(src, payload);
+      });
+}
+
+void Client::submit(net::NodeId gatekeeper, std::string rsl, sim::Time timeout,
+                    AcceptedFn on_accepted, StateFn on_state) {
+  gsi_.authenticate(
+      gatekeeper, timeout,
+      [this, gatekeeper, rsl = std::move(rsl), timeout,
+       on_accepted = std::move(on_accepted),
+       on_state = std::move(on_state)](util::Result<gsi::Session> session) {
+        if (!session.is_ok()) {
+          on_accepted(session.status());
+          return;
+        }
+        JobRequestArgs args;
+        args.session_token = session.value().token;
+        args.rsl = rsl;
+        args.callback_contact =
+            on_state != nullptr ? endpoint_->id() : net::kInvalidNode;
+        util::Writer w;
+        args.encode(w);
+        endpoint_->call(
+            gatekeeper, kMethodJobRequest, w.take(), timeout,
+            [this, on_accepted, on_state](const util::Status& status,
+                                          util::Reader& reply) {
+              if (!status.is_ok()) {
+                on_accepted(status);
+                return;
+              }
+              const JobId id = reply.u64();
+              if (!reply.ok()) {
+                on_accepted(util::Status(util::ErrorCode::kInternal,
+                                         "malformed job-request reply"));
+                return;
+              }
+              if (on_state != nullptr) {
+                watchers_[id] = on_state;
+              }
+              on_accepted(id);
+              // Flush transitions that beat the accept reply here.
+              auto it = early_.find(id);
+              if (it != early_.end()) {
+                auto changes = std::move(it->second);
+                early_.erase(it);
+                auto wit = watchers_.find(id);
+                if (wit != watchers_.end()) {
+                  for (const JobStateChange& c : changes) wit->second(c);
+                }
+              }
+            });
+      });
+}
+
+void Client::on_state_notify(net::NodeId /*src*/, util::Reader& payload) {
+  JobStateChange change = decode_state_change(payload);
+  if (!payload.ok()) return;
+  auto it = watchers_.find(change.job);
+  if (it == watchers_.end()) {
+    // Either the accept reply is still in flight (buffer) or the job was
+    // forgotten (keep a short buffer anyway; forget() clears it).
+    early_[change.job].push_back(change);
+    return;
+  }
+  it->second(change);
+}
+
+void Client::cancel(net::NodeId gatekeeper, JobId job, sim::Time timeout,
+                    DoneFn on_done) {
+  util::Writer w;
+  w.u64(job);
+  endpoint_->call(gatekeeper, kMethodJobCancel, w.take(), timeout,
+                  [on_done = std::move(on_done)](const util::Status& status,
+                                                 util::Reader&) {
+                    if (on_done) on_done(status);
+                  });
+}
+
+void Client::status(net::NodeId gatekeeper, JobId job, sim::Time timeout,
+                    std::function<void(util::Result<JobState>)> on_done) {
+  util::Writer w;
+  w.u64(job);
+  endpoint_->call(gatekeeper, kMethodJobStatus, w.take(), timeout,
+                  [on_done = std::move(on_done)](const util::Status& status,
+                                                 util::Reader& reply) {
+                    if (!status.is_ok()) {
+                      on_done(status);
+                      return;
+                    }
+                    const auto state = static_cast<JobState>(reply.u8());
+                    if (!reply.ok()) {
+                      on_done(util::Status(util::ErrorCode::kInternal,
+                                           "malformed status reply"));
+                      return;
+                    }
+                    on_done(state);
+                  });
+}
+
+void Client::ping(net::NodeId gatekeeper, sim::Time timeout, DoneFn on_done) {
+  endpoint_->call(gatekeeper, kMethodPing, {}, timeout,
+                  [on_done = std::move(on_done)](const util::Status& status,
+                                                 util::Reader&) {
+                    if (on_done) on_done(status);
+                  });
+}
+
+void Client::reserve(
+    net::NodeId gatekeeper, sim::Time start, sim::Time end,
+    std::int32_t count, sim::Time timeout,
+    std::function<void(util::Result<ReservationHandle>)> on_done) {
+  gsi_.authenticate(
+      gatekeeper, timeout,
+      [this, gatekeeper, start, end, count, timeout,
+       on_done = std::move(on_done)](util::Result<gsi::Session> session) {
+        if (!session.is_ok()) {
+          on_done(session.status());
+          return;
+        }
+        ReserveArgs args;
+        args.session_token = session.value().token;
+        args.start = start;
+        args.end = end;
+        args.count = count;
+        util::Writer w;
+        args.encode(w);
+        endpoint_->call(gatekeeper, kMethodReserve, w.take(), timeout,
+                        [on_done](const util::Status& status,
+                                  util::Reader& reply) {
+                          if (!status.is_ok()) {
+                            on_done(status);
+                            return;
+                          }
+                          ReservationHandle handle;
+                          handle.id = reply.u64();
+                          handle.start = reply.i64();
+                          handle.end = reply.i64();
+                          if (!reply.ok()) {
+                            on_done(util::Status(
+                                util::ErrorCode::kInternal,
+                                "malformed reservation reply"));
+                            return;
+                          }
+                          on_done(handle);
+                        });
+      });
+}
+
+void Client::cancel_reservation(net::NodeId gatekeeper,
+                                std::uint64_t reservation, sim::Time timeout,
+                                DoneFn on_done) {
+  util::Writer w;
+  w.u64(reservation);
+  endpoint_->call(gatekeeper, kMethodReserveCancel, w.take(), timeout,
+                  [on_done = std::move(on_done)](const util::Status& status,
+                                                 util::Reader&) {
+                    if (on_done) on_done(status);
+                  });
+}
+
+void Client::forget(JobId job) {
+  watchers_.erase(job);
+  early_.erase(job);
+}
+
+}  // namespace grid::gram

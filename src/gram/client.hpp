@@ -1,0 +1,84 @@
+// GRAM client library: submit / cancel / status against remote gatekeepers.
+//
+// Each submission performs its own GSI handshake ("each with its inherent
+// authentication and protocol overhead", §4.2) and then the job-request
+// RPC.  State-change notifications from job managers are dispatched to the
+// per-job callback; notifications that race ahead of the accept reply are
+// buffered so no transition is lost.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "gram/protocol.hpp"
+#include "gsi/protocol.hpp"
+#include "net/rpc.hpp"
+#include "simkit/status.hpp"
+
+namespace grid::gram {
+
+class Client {
+ public:
+  /// The client owns the notify registration on `endpoint`; use one Client
+  /// per endpoint.
+  Client(net::Endpoint& endpoint, const gsi::CertificateAuthority& ca,
+         gsi::Credential identity, gsi::CostModel gsi_costs = {});
+
+  using AcceptedFn = std::function<void(util::Result<JobId>)>;
+  using StateFn = std::function<void(const JobStateChange&)>;
+  using DoneFn = std::function<void(util::Status)>;
+
+  /// Submits `rsl` (a '&' conjunction fragment) to the gatekeeper.
+  /// `on_accepted` fires once with the job id or an error; `on_state`
+  /// (optional) then receives every state transition.  `timeout` bounds
+  /// each protocol phase (handshake round trips and the request RPC).
+  void submit(net::NodeId gatekeeper, std::string rsl, sim::Time timeout,
+              AcceptedFn on_accepted, StateFn on_state = nullptr);
+
+  /// Cancels a job previously accepted by `gatekeeper`.
+  void cancel(net::NodeId gatekeeper, JobId job, sim::Time timeout,
+              DoneFn on_done);
+
+  /// Queries a job's server-side state.
+  void status(net::NodeId gatekeeper, JobId job, sim::Time timeout,
+              std::function<void(util::Result<JobState>)> on_done);
+
+  /// Liveness probe of a gatekeeper.
+  void ping(net::NodeId gatekeeper, sim::Time timeout, DoneFn on_done);
+
+  /// An acquired advance reservation as seen by the client.
+  struct ReservationHandle {
+    std::uint64_t id = 0;
+    sim::Time start = 0;
+    sim::Time end = 0;
+  };
+
+  /// Requests an advance reservation (paper §5); performs its own GSI
+  /// handshake.  Fails with kFailedPrecondition on resources without
+  /// reservation support.
+  void reserve(net::NodeId gatekeeper, sim::Time start, sim::Time end,
+               std::int32_t count, sim::Time timeout,
+               std::function<void(util::Result<ReservationHandle>)> on_done);
+
+  /// Releases an advance reservation.
+  void cancel_reservation(net::NodeId gatekeeper, std::uint64_t reservation,
+                          sim::Time timeout, DoneFn on_done);
+
+  /// Detaches the state callback of a job (e.g. after DUROC releases it).
+  void forget(JobId job);
+
+  net::Endpoint& endpoint() { return *endpoint_; }
+
+ private:
+  void on_state_notify(net::NodeId src, util::Reader& payload);
+
+  net::Endpoint* endpoint_;
+  gsi::ClientContext gsi_;
+  std::unordered_map<JobId, StateFn> watchers_;
+  std::unordered_map<JobId, std::vector<JobStateChange>> early_;
+};
+
+}  // namespace grid::gram

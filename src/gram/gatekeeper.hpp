@@ -1,0 +1,93 @@
+// GRAM gatekeeper: the per-resource entry point of the resource management
+// layer.
+//
+// Request processing reproduces the cost structure of Figure 3:
+//   1. session validation (established by the GSI handshake, ~0.5 s);
+//   2. initgroups() via the shared NIS server (~0.7 s);
+//   3. miscellaneous request processing (~0.01 s);
+//   4. job-manager creation and local-scheduler submission (fork ~1 ms per
+//      process under the fork scheduler).
+// The request RPC is answered after step 4 (job accepted, PENDING); ACTIVE
+// and later states are pushed to the callback contact.  This reply point is
+// what serializes DUROC subjob submissions and produces Figure 4's slope.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "gram/jobmanager.hpp"
+#include "gram/nis.hpp"
+#include "gram/process.hpp"
+#include "gram/protocol.hpp"
+#include "gsi/protocol.hpp"
+#include "net/rpc.hpp"
+#include "sched/scheduler.hpp"
+#include "simkit/log.hpp"
+
+namespace grid::gram {
+
+/// Tunable gatekeeper-side costs (see testbed::CostModel for the calibrated
+/// set used in the experiments).
+struct GatekeeperCosts {
+  /// Non-initgroups, non-auth request processing ("misc." in Figure 3).
+  sim::Time misc_processing = 10 * sim::kMillisecond;
+  /// Timeout of the gatekeeper's own NIS lookups.
+  sim::Time nis_timeout = 30 * sim::kSecond;
+  /// Executable load/exec time between processor allocation and the job's
+  /// processes entering main() (part of Figure 2's "successful startup").
+  sim::Time exec_startup = 720 * sim::kMillisecond;
+};
+
+class Gatekeeper {
+ public:
+  /// All referenced collaborators must outlive the gatekeeper.
+  Gatekeeper(net::Network& network, std::string host_name,
+             sched::LocalScheduler& scheduler,
+             const ExecutableRegistry& registry,
+             const gsi::CertificateAuthority& ca, const gsi::GridMap& gridmap,
+             gsi::Credential host_credential, net::NodeId nis_server,
+             gsi::CostModel gsi_costs = {}, GatekeeperCosts costs = {});
+
+  net::NodeId contact() const { return endpoint_.id(); }
+  const std::string& host_name() const { return host_name_; }
+  net::Endpoint& endpoint() { return endpoint_; }
+  sched::LocalScheduler& scheduler() { return *scheduler_; }
+
+  /// Looks up a job's current state (server-side view).
+  util::Result<JobState> job_state(JobId id) const;
+
+  std::size_t job_count() const { return jobs_.size(); }
+
+  /// Simulates a host crash: all job managers vanish without callbacks.
+  /// (Usually invoked via Network::set_node_up(contact(), false), which
+  /// calls back into this through the endpoint crash hook.)
+  void crash();
+
+ private:
+  void handle_job_request(net::NodeId caller, std::uint64_t call_id,
+                          util::Reader& args);
+  void handle_job_cancel(net::NodeId caller, std::uint64_t call_id,
+                         util::Reader& args);
+  void handle_job_status(net::NodeId caller, std::uint64_t call_id,
+                         util::Reader& args);
+  void handle_reserve(net::NodeId caller, std::uint64_t call_id,
+                      util::Reader& args);
+  void handle_reserve_cancel(net::NodeId caller, std::uint64_t call_id,
+                             util::Reader& args);
+  void accept_job(net::NodeId caller, std::uint64_t call_id,
+                  JobRequestArgs request, std::string local_user);
+
+  net::Endpoint endpoint_;
+  std::string host_name_;
+  sched::LocalScheduler* scheduler_;
+  const ExecutableRegistry* registry_;
+  gsi::ServerContext gsi_;
+  NisClient nis_;
+  GatekeeperCosts costs_;
+  util::Logger log_;
+  std::uint64_t next_job_ = 1;
+  std::unordered_map<JobId, std::unique_ptr<JobManager>> jobs_;
+};
+
+}  // namespace grid::gram

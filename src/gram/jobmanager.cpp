@@ -1,0 +1,257 @@
+#include "gram/jobmanager.hpp"
+
+#include "gram/protocol.hpp"
+#include "sched/reservation.hpp"
+
+namespace grid::gram {
+
+/// One simulated process: adapts ProcessApi onto the job manager.
+class JobManager::Process final : public ProcessApi {
+ public:
+  Process(JobManager& owner, std::int32_t rank)
+      : owner_(&owner), rank_(rank) {}
+
+  util::Status exec() {
+    auto behavior = owner_->registry_->create(owner_->request_.executable);
+    if (!behavior.is_ok()) return behavior.status();
+    behavior_ = behavior.take();
+    behavior_->start(*this);
+    return util::Status::ok();
+  }
+
+  void terminate() {
+    if (behavior_ == nullptr) return;
+    std::shared_ptr<ProcessBehavior> b = std::move(behavior_);
+    b->on_terminate();
+    // Defer destruction past the current event: the kill may have been
+    // triggered from a callback whose owner lives inside the behaviour.
+    engine().schedule_after(0, [b]() mutable { b.reset(); });
+  }
+
+  bool alive() const { return behavior_ != nullptr; }
+
+  // ---- ProcessApi --------------------------------------------------------
+
+  sim::Engine& engine() override { return owner_->endpoint_->engine(); }
+  net::Network& network() override { return owner_->endpoint_->network(); }
+  JobId job() const override { return owner_->id_; }
+  const std::string& host_name() const override {
+    return owner_->endpoint_->name();
+  }
+  std::int32_t local_rank() const override { return rank_; }
+  std::int32_t local_count() const override { return owner_->request_.count; }
+  const std::vector<std::string>& arguments() const override {
+    return owner_->request_.arguments;
+  }
+  std::string getenv(const std::string& name) const override {
+    for (const auto& [k, v] : owner_->request_.environment) {
+      if (k == name) return v;
+    }
+    return "";
+  }
+  void exit(bool ok, std::string message) override {
+    if (behavior_ == nullptr) return;  // already terminated
+    // exit() is almost always called from one of the behaviour's own
+    // callbacks (network handler or timer); destroying it synchronously
+    // would free objects still on the call stack, so defer.
+    std::shared_ptr<ProcessBehavior> b = std::move(behavior_);
+    engine().schedule_after(0, [b]() mutable { b.reset(); });
+    owner_->on_process_exit(rank_, ok, message);
+  }
+
+ private:
+  JobManager* owner_;
+  std::int32_t rank_;
+  std::unique_ptr<ProcessBehavior> behavior_;
+};
+
+JobManager::JobManager(net::Endpoint& endpoint,
+                       sched::LocalScheduler& scheduler,
+                       const ExecutableRegistry& registry, JobId id,
+                       rsl::JobRequest request, std::string local_user,
+                       net::NodeId callback_contact, sim::Time exec_startup,
+                       util::Logger logger)
+    : endpoint_(&endpoint),
+      scheduler_(&scheduler),
+      registry_(&registry),
+      id_(id),
+      request_(std::move(request)),
+      local_user_(std::move(local_user)),
+      callback_contact_(callback_contact),
+      exec_startup_(exec_startup),
+      log_(std::move(logger)) {}
+
+JobManager::~JobManager() { endpoint_->engine().cancel(exec_event_); }
+
+util::Status JobManager::start() {
+  sched::JobDescriptor desc;
+  desc.id = id_;
+  desc.count = request_.count;
+  desc.max_wall_time =
+      request_.max_wall_time.has_value() ? *request_.max_wall_time : 0;
+  desc.annotation = request_.executable;
+  util::Status status;
+  if (request_.reservation_id != 0) {
+    // The job is bound to an advance reservation (paper §5): it starts at
+    // the window, inside reserved capacity.
+    auto* reserver = dynamic_cast<sched::ReservationScheduler*>(scheduler_);
+    if (reserver == nullptr) {
+      return {util::ErrorCode::kFailedPrecondition,
+              "resource manager does not support advance reservations"};
+    }
+    status = reserver->submit_reserved(
+        desc, request_.reservation_id,
+        [this](sched::JobId) { on_scheduler_start(); },
+        [this](sched::JobId, sched::EndReason reason) {
+          on_scheduler_end(reason);
+        });
+  } else {
+    status = scheduler_->submit(
+        desc, [this](sched::JobId) { on_scheduler_start(); },
+        [this](sched::JobId, sched::EndReason reason) {
+          on_scheduler_end(reason);
+        });
+  }
+  if (!status.is_ok()) return status;
+  scheduler_job_live_ = true;
+  transition(JobState::kPending);
+  return util::Status::ok();
+}
+
+void JobManager::on_scheduler_start() {
+  if (is_terminal(state_)) return;
+  // Processors are allocated; loading and exec'ing the executable takes
+  // exec_startup before the processes are really running (ACTIVE).
+  if (exec_startup_ > 0) {
+    exec_event_ = endpoint_->engine().schedule_after(
+        exec_startup_, [this] { exec_processes(); });
+    return;
+  }
+  exec_processes();
+}
+
+void JobManager::exec_processes() {
+  if (is_terminal(state_)) return;
+  // Exec one process per allocated processor.
+  processes_.reserve(static_cast<std::size_t>(request_.count));
+  for (std::int32_t rank = 0; rank < request_.count; ++rank) {
+    processes_.push_back(std::make_unique<Process>(*this, rank));
+  }
+  live_ = request_.count;
+  transition(JobState::kActive);
+  for (auto& p : processes_) {
+    if (failing_ || is_terminal(state_)) break;
+    if (auto st = p->exec(); !st.is_ok()) {
+      // Executable missing or broken: the job fails at exec time.
+      --live_;
+      failing_ = true;
+      terminate_processes();
+      if (scheduler_job_live_) {
+        scheduler_job_live_ = false;
+        scheduler_->cancel(id_);
+      }
+      transition(JobState::kFailed, st.code(), st.message());
+      failing_ = false;
+      return;
+    }
+  }
+}
+
+void JobManager::on_process_exit(std::int32_t rank, bool ok,
+                                 const std::string& message) {
+  if (is_terminal(state_)) return;
+  --live_;
+  if (!ok && !failing_) {
+    failing_ = true;
+    terminate_processes();
+    if (scheduler_job_live_) {
+      scheduler_job_live_ = false;
+      scheduler_->cancel(id_);
+    }
+    transition(JobState::kFailed, util::ErrorCode::kInternal,
+               "process " + std::to_string(rank) + " failed: " + message);
+    failing_ = false;
+    return;
+  }
+  if (ok && live_ == 0 && !failing_) {
+    if (scheduler_job_live_) {
+      scheduler_job_live_ = false;
+      scheduler_->complete(id_);
+    }
+    transition(JobState::kDone);
+  }
+}
+
+void JobManager::terminate_processes() {
+  for (auto& p : processes_) {
+    if (p->alive()) {
+      p->terminate();
+      --live_;
+    }
+  }
+}
+
+void JobManager::on_scheduler_end(sched::EndReason reason) {
+  scheduler_job_live_ = false;
+  if (is_terminal(state_)) return;
+  switch (reason) {
+    case sched::EndReason::kCompleted:
+      // complete() initiated by us after processes exited; nothing to do.
+      return;
+    case sched::EndReason::kCancelled:
+      failing_ = true;
+      terminate_processes();
+      transition(JobState::kFailed, util::ErrorCode::kAborted,
+                 "job cancelled");
+      failing_ = false;
+      return;
+    case sched::EndReason::kWallTimeExceeded:
+      failing_ = true;
+      terminate_processes();
+      transition(JobState::kFailed, util::ErrorCode::kTimeout,
+                 "wall time limit exceeded");
+      failing_ = false;
+      return;
+  }
+}
+
+void JobManager::cancel() {
+  if (is_terminal(state_)) return;
+  if (scheduler_job_live_) {
+    scheduler_job_live_ = false;
+    scheduler_->cancel(id_);  // triggers on_scheduler_end only if still known
+  }
+  failing_ = true;
+  terminate_processes();
+  transition(JobState::kFailed, util::ErrorCode::kAborted, "job cancelled");
+  failing_ = false;
+}
+
+void JobManager::crash() {
+  // The host died: no callbacks, no scheduler bookkeeping — just vanish.
+  for (auto& p : processes_) {
+    if (p->alive()) p->terminate();
+  }
+  live_ = 0;
+  state_ = JobState::kFailed;
+}
+
+void JobManager::transition(JobState state, util::ErrorCode error,
+                            const std::string& message) {
+  if (state_ == state) return;
+  state_ = state;
+  GRID_LOG(log_, kDebug) << "job " << id_ << " -> " << to_string(state)
+                         << (message.empty() ? "" : ": " + message);
+  if (callback_contact_ == net::kInvalidNode) return;
+  JobStateChange change;
+  change.job = id_;
+  change.state = state;
+  change.error = error;
+  change.message = message;
+  change.at = endpoint_->engine().now();
+  util::Writer w;
+  encode_state_change(w, change);
+  endpoint_->notify(callback_contact_, kNotifyJobState, w.take());
+}
+
+}  // namespace grid::gram

@@ -1,0 +1,86 @@
+// GRAM job manager: runs one accepted job on a local scheduler.
+//
+// Responsibilities (one instance per job, owned by the gatekeeper):
+//  * submit the job to the host's local scheduler;
+//  * when the scheduler allocates processors, "exec" the requested number
+//    of simulated processes (looked up in the executable registry);
+//  * track process exits: all-ok -> DONE, any failure -> kill the rest and
+//    FAIL; wall-time expiry and cancellation also FAIL;
+//  * push PENDING / ACTIVE / DONE / FAILED callbacks to the client contact.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "gram/job.hpp"
+#include "gram/process.hpp"
+#include "net/rpc.hpp"
+#include "rsl/attributes.hpp"
+#include "sched/scheduler.hpp"
+#include "simkit/log.hpp"
+
+namespace grid::gram {
+
+class JobManager {
+ public:
+  /// `endpoint` is the gatekeeper's endpoint (used to send callbacks);
+  /// `scheduler` and `registry` must outlive the manager.
+  /// `exec_startup` models executable load/exec time between processor
+  /// allocation and the processes entering main() (ACTIVE is reported when
+  /// the processes are actually running).
+  JobManager(net::Endpoint& endpoint, sched::LocalScheduler& scheduler,
+             const ExecutableRegistry& registry, JobId id,
+             rsl::JobRequest request, std::string local_user,
+             net::NodeId callback_contact, sim::Time exec_startup,
+             util::Logger logger);
+  ~JobManager();
+
+  JobManager(const JobManager&) = delete;
+  JobManager& operator=(const JobManager&) = delete;
+
+  /// Submits to the scheduler; transitions to PENDING on success.
+  util::Status start();
+
+  /// Cancels the job: dequeues or kills, then reports FAILED(cancelled).
+  void cancel();
+
+  /// Host crash: destroy all processes silently (no callbacks escape a
+  /// dead host).
+  void crash();
+
+  JobId id() const { return id_; }
+  JobState state() const { return state_; }
+  const rsl::JobRequest& request() const { return request_; }
+  std::int32_t live_processes() const { return live_; }
+
+ private:
+  class Process;
+
+  void on_scheduler_start();
+  void exec_processes();
+  void on_scheduler_end(sched::EndReason reason);
+  void on_process_exit(std::int32_t rank, bool ok, const std::string& message);
+  void terminate_processes();
+  void transition(JobState state, util::ErrorCode error = util::ErrorCode::kOk,
+                  const std::string& message = "");
+
+  net::Endpoint* endpoint_;
+  sched::LocalScheduler* scheduler_;
+  const ExecutableRegistry* registry_;
+  JobId id_;
+  rsl::JobRequest request_;
+  std::string local_user_;
+  net::NodeId callback_contact_;
+  sim::Time exec_startup_;
+  sim::EventId exec_event_;
+  util::Logger log_;
+
+  JobState state_ = JobState::kUnsubmitted;
+  std::vector<std::unique_ptr<Process>> processes_;
+  std::int32_t live_ = 0;
+  bool scheduler_job_live_ = false;
+  bool failing_ = false;  // re-entrancy guard while killing processes
+};
+
+}  // namespace grid::gram

@@ -1,0 +1,24 @@
+#include "gram/process.hpp"
+
+namespace grid::gram {
+
+void ExecutableRegistry::install(std::string executable,
+                                 ProcessFactory factory) {
+  factories_[std::move(executable)] = std::move(factory);
+}
+
+bool ExecutableRegistry::contains(const std::string& executable) const {
+  return factories_.contains(executable);
+}
+
+util::Result<std::unique_ptr<ProcessBehavior>> ExecutableRegistry::create(
+    const std::string& executable) const {
+  auto it = factories_.find(executable);
+  if (it == factories_.end()) {
+    return util::Status(util::ErrorCode::kNotFound,
+                        "executable not found: " + executable);
+  }
+  return it->second();
+}
+
+}  // namespace grid::gram

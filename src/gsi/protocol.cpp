@@ -1,0 +1,212 @@
+#include "gsi/protocol.hpp"
+
+#include <memory>
+#include <utility>
+
+namespace grid::gsi {
+
+std::uint64_t challenge_response(std::uint64_t challenge,
+                                 std::string_view subject) {
+  std::uint64_t h = 0xcbf29ce484222325ULL ^ challenge;
+  for (char c : subject) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+ServerContext::ServerContext(net::Endpoint& endpoint,
+                             const CertificateAuthority& ca,
+                             const GridMap& gridmap, Credential identity,
+                             CostModel costs)
+    : endpoint_(&endpoint),
+      ca_(&ca),
+      gridmap_(&gridmap),
+      identity_(std::move(identity)),
+      costs_(costs) {
+  endpoint_->register_method(
+      kMethodInit,
+      [this](net::NodeId caller, std::uint64_t call_id, util::Reader& args) {
+        handle_init(caller, call_id, args);
+      });
+  endpoint_->register_method(
+      kMethodFinal,
+      [this](net::NodeId caller, std::uint64_t call_id, util::Reader& args) {
+        handle_final(caller, call_id, args);
+      });
+}
+
+void ServerContext::handle_init(net::NodeId caller, std::uint64_t call_id,
+                                util::Reader& args) {
+  Credential cred = Credential::decode(args);
+  if (!args.ok()) {
+    endpoint_->respond_error(caller, call_id, util::ErrorCode::kInvalidArgument,
+                             "malformed INIT");
+    return;
+  }
+  // Verification burns server CPU before any reply is sent.
+  endpoint_->engine().schedule_after(
+      costs_.server_verify, [this, caller, call_id, cred = std::move(cred)] {
+        const sim::Time now = endpoint_->engine().now();
+        if (auto st = ca_->verify(cred, now); !st.is_ok()) {
+          endpoint_->respond_error(caller, call_id, st.code(), st.message());
+          return;
+        }
+        if (auto lu = gridmap_->lookup(cred.subject); !lu.is_ok()) {
+          endpoint_->respond_error(caller, call_id, lu.status().code(),
+                                   lu.status().message());
+          return;
+        }
+        const std::uint64_t handshake_id = next_handshake_++;
+        const std::uint64_t challenge =
+            0x9e3779b97f4a7c15ULL * handshake_id ^ 0x5bf03635ULL;
+        pending_[handshake_id] = PendingHandshake{cred.subject, challenge};
+        util::Writer w;
+        identity_.encode(w);
+        w.varint(handshake_id);
+        w.u64(challenge);
+        endpoint_->respond(caller, call_id, w.take());
+      });
+}
+
+void ServerContext::handle_final(net::NodeId caller, std::uint64_t call_id,
+                                 util::Reader& args) {
+  const std::uint64_t handshake_id = args.varint();
+  const std::uint64_t response = args.u64();
+  if (!args.ok()) {
+    endpoint_->respond_error(caller, call_id, util::ErrorCode::kInvalidArgument,
+                             "malformed FINAL");
+    return;
+  }
+  endpoint_->engine().schedule_after(
+      costs_.server_issue, [this, caller, call_id, handshake_id, response] {
+        auto it = pending_.find(handshake_id);
+        if (it == pending_.end()) {
+          endpoint_->respond_error(caller, call_id,
+                                   util::ErrorCode::kPermissionDenied,
+                                   "unknown handshake");
+          return;
+        }
+        const PendingHandshake hs = it->second;
+        pending_.erase(it);
+        if (response != challenge_response(hs.challenge, hs.subject)) {
+          endpoint_->respond_error(caller, call_id,
+                                   util::ErrorCode::kPermissionDenied,
+                                   "challenge response mismatch");
+          return;
+        }
+        auto local = gridmap_->lookup(hs.subject);
+        if (!local.is_ok()) {
+          endpoint_->respond_error(caller, call_id, local.status().code(),
+                                   local.status().message());
+          return;
+        }
+        Session session;
+        session.token = next_token_++;
+        session.subject = hs.subject;
+        session.local_user = local.take();
+        session.expires = endpoint_->engine().now() + sim::kHour;
+        sessions_[session.token] = session;
+        util::Writer w;
+        w.u64(session.token);
+        w.str(session.local_user);
+        w.i64(session.expires);
+        endpoint_->respond(caller, call_id, w.take());
+      });
+}
+
+util::Result<Session> ServerContext::validate(std::uint64_t token) const {
+  auto it = sessions_.find(token);
+  if (it == sessions_.end()) {
+    return util::Status(util::ErrorCode::kPermissionDenied,
+                        "unknown session token");
+  }
+  if (it->second.expires < endpoint_->engine().now()) {
+    return util::Status(util::ErrorCode::kPermissionDenied,
+                        "session expired");
+  }
+  return it->second;
+}
+
+ClientContext::ClientContext(net::Endpoint& endpoint,
+                             const CertificateAuthority& ca,
+                             Credential identity, CostModel costs)
+    : endpoint_(&endpoint),
+      ca_(&ca),
+      identity_(std::move(identity)),
+      costs_(costs) {}
+
+void ClientContext::authenticate(net::NodeId server, sim::Time timeout,
+                                 DoneFn on_done) {
+  // State shared across the handshake continuations.
+  struct Flow {
+    net::Endpoint* endpoint;
+    const CertificateAuthority* ca;
+    Credential identity;
+    CostModel costs;
+    net::NodeId server;
+    sim::Time timeout;
+    DoneFn on_done;
+  };
+  auto flow = std::make_shared<Flow>(Flow{endpoint_, ca_, identity_, costs_,
+                                          server, timeout,
+                                          std::move(on_done)});
+  // Phase 1: client signing cost, then INIT.
+  flow->endpoint->engine().schedule_after(flow->costs.client_sign, [flow] {
+    util::Writer w;
+    flow->identity.encode(w);
+    flow->endpoint->call(
+        flow->server, kMethodInit, w.take(), flow->timeout,
+        [flow](const util::Status& status, util::Reader& reply) {
+          if (!status.is_ok()) {
+            flow->on_done(status);
+            return;
+          }
+          Credential server_cred = Credential::decode(reply);
+          const std::uint64_t handshake_id = reply.varint();
+          const std::uint64_t challenge = reply.u64();
+          if (!reply.ok()) {
+            flow->on_done(util::Status(util::ErrorCode::kInternal,
+                                       "malformed INIT reply"));
+            return;
+          }
+          // Phase 2: verify the server's identity (client CPU), then FINAL.
+          flow->endpoint->engine().schedule_after(
+              flow->costs.client_verify,
+              [flow, server_cred = std::move(server_cred), handshake_id,
+               challenge] {
+                const sim::Time now = flow->endpoint->engine().now();
+                if (auto st = flow->ca->verify(server_cred, now);
+                    !st.is_ok()) {
+                  flow->on_done(util::Status(
+                      st.code(), "server identity rejected: " + st.message()));
+                  return;
+                }
+                util::Writer w2;
+                w2.varint(handshake_id);
+                w2.u64(challenge_response(challenge, flow->identity.subject));
+                flow->endpoint->call(
+                    flow->server, kMethodFinal, w2.take(), flow->timeout,
+                    [flow](const util::Status& status2, util::Reader& reply2) {
+                      if (!status2.is_ok()) {
+                        flow->on_done(status2);
+                        return;
+                      }
+                      Session session;
+                      session.token = reply2.u64();
+                      session.local_user = reply2.str();
+                      session.expires = reply2.i64();
+                      session.subject = flow->identity.subject;
+                      if (!reply2.ok()) {
+                        flow->on_done(util::Status(util::ErrorCode::kInternal,
+                                                   "malformed FINAL reply"));
+                        return;
+                      }
+                      flow->on_done(std::move(session));
+                    });
+              });
+        });
+  });
+}
+
+}  // namespace grid::gsi

@@ -1,0 +1,119 @@
+// GSI mutual authentication protocol.
+//
+// A three-message handshake between a client endpoint and a server
+// endpoint, with configurable CPU costs on both sides (Figure 3 attributes
+// ~0.5 s of each GRAM request to this exchange):
+//
+//   client --(INIT: client credential, nonce)--------------> server
+//   client <-(server credential, challenge)----------------- server
+//   client --(FINAL: challenge response)--------------------> server
+//   client <-(session token)--------------------------------- server
+//
+// On success the client holds a Session token that authorizes subsequent
+// calls (GRAM validates it on every job request).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+
+#include "gsi/credential.hpp"
+#include "net/rpc.hpp"
+#include "simkit/status.hpp"
+#include "simkit/time.hpp"
+
+namespace grid::gsi {
+
+/// RPC method ids (0x100 block reserved for GSI).
+enum Method : std::uint32_t {
+  kMethodInit = 0x101,
+  kMethodFinal = 0x102,
+};
+
+/// CPU costs of the handshake operations.  Defaults are calibrated so a
+/// handshake over a 2 ms network totals ~0.5 s, matching Figure 3.
+struct CostModel {
+  sim::Time client_sign = 120 * sim::kMillisecond;
+  sim::Time server_verify = 130 * sim::kMillisecond;
+  sim::Time client_verify = 100 * sim::kMillisecond;
+  sim::Time server_issue = 120 * sim::kMillisecond;
+
+  sim::Time cpu_total() const {
+    return client_sign + server_verify + client_verify + server_issue;
+  }
+};
+
+/// An established security context.
+struct Session {
+  std::uint64_t token = 0;
+  std::string subject;     // authenticated grid identity
+  std::string local_user;  // gridmap-resolved local account
+  sim::Time expires = 0;
+};
+
+/// Server half: attach to an Endpoint to serve handshakes and validate
+/// session tokens presented by later requests.
+class ServerContext {
+ public:
+  /// `ca` and `gridmap` must outlive the context.  `identity` is the
+  /// server's own credential presented to clients.
+  ServerContext(net::Endpoint& endpoint, const CertificateAuthority& ca,
+                const GridMap& gridmap, Credential identity,
+                CostModel costs = {});
+
+  /// Looks up an established session; kPermissionDenied if unknown/expired.
+  util::Result<Session> validate(std::uint64_t token) const;
+
+  /// Number of live sessions (for tests).
+  std::size_t session_count() const { return sessions_.size(); }
+
+  const CostModel& costs() const { return costs_; }
+
+ private:
+  void handle_init(net::NodeId caller, std::uint64_t call_id,
+                   util::Reader& args);
+  void handle_final(net::NodeId caller, std::uint64_t call_id,
+                    util::Reader& args);
+
+  net::Endpoint* endpoint_;
+  const CertificateAuthority* ca_;
+  const GridMap* gridmap_;
+  Credential identity_;
+  CostModel costs_;
+  std::uint64_t next_token_ = 1;
+  // Challenges outstanding per caller nonce.
+  struct PendingHandshake {
+    std::string subject;
+    std::uint64_t challenge = 0;
+  };
+  std::unordered_map<std::uint64_t, PendingHandshake> pending_;
+  std::uint64_t next_handshake_ = 1;
+  std::unordered_map<std::uint64_t, Session> sessions_;
+};
+
+/// Expected challenge response: ties the challenge to the subject.
+std::uint64_t challenge_response(std::uint64_t challenge,
+                                 std::string_view subject);
+
+/// Client half: runs the handshake.  `on_done` fires exactly once with the
+/// session or an error (authentication failure, timeout, malformed reply).
+class ClientContext {
+ public:
+  ClientContext(net::Endpoint& endpoint, const CertificateAuthority& ca,
+                Credential identity, CostModel costs = {});
+
+  using DoneFn = std::function<void(util::Result<Session>)>;
+
+  /// Starts a handshake with the server at `server`.  `timeout` bounds each
+  /// round trip.
+  void authenticate(net::NodeId server, sim::Time timeout, DoneFn on_done);
+
+ private:
+  net::Endpoint* endpoint_;
+  const CertificateAuthority* ca_;
+  Credential identity_;
+  CostModel costs_;
+};
+
+}  // namespace grid::gsi

@@ -1,0 +1,171 @@
+#include "info/gis.hpp"
+
+#include <memory>
+
+namespace grid::info {
+
+void encode_snapshot(util::Writer& w, const sched::QueueSnapshot& snap) {
+  w.i64(snap.taken_at);
+  w.i32(snap.total_processors);
+  w.i32(snap.busy_processors);
+  w.varint(snap.queued.size());
+  for (const sched::QueuedJobInfo& j : snap.queued) {
+    w.u64(j.id);
+    w.i32(j.count);
+    w.i64(j.estimated_runtime);
+    w.i64(j.submitted_at);
+  }
+}
+
+sched::QueueSnapshot decode_snapshot(util::Reader& r) {
+  sched::QueueSnapshot snap;
+  snap.taken_at = r.i64();
+  snap.total_processors = r.i32();
+  snap.busy_processors = r.i32();
+  const std::uint64_t n = r.varint();
+  for (std::uint64_t i = 0; i < n && r.ok(); ++i) {
+    sched::QueuedJobInfo j;
+    j.id = r.u64();
+    j.count = r.i32();
+    j.estimated_runtime = r.i64();
+    j.submitted_at = r.i64();
+    snap.queued.push_back(j);
+  }
+  return snap;
+}
+
+GisServer::GisServer(net::Network& network,
+                     sched::LoadInformationService& service,
+                     sim::Time query_cost)
+    : endpoint_(network, "gis"), service_(&service), query_cost_(query_cost) {
+  endpoint_.register_method(
+      kMethodQuery,
+      [this](net::NodeId caller, std::uint64_t call_id, util::Reader& args) {
+        handle_query(caller, call_id, args);
+      });
+  endpoint_.register_method(
+      kMethodListContacts,
+      [this](net::NodeId caller, std::uint64_t call_id, util::Reader& args) {
+        handle_list(caller, call_id, args);
+      });
+}
+
+void GisServer::set_contacts(std::vector<std::string> contacts) {
+  contacts_ = std::move(contacts);
+}
+
+void GisServer::handle_query(net::NodeId caller, std::uint64_t call_id,
+                             util::Reader& args) {
+  std::string contact = args.str();
+  if (!args.ok()) {
+    endpoint_.respond_error(caller, call_id, util::ErrorCode::kInvalidArgument,
+                            "malformed query");
+    return;
+  }
+  endpoint_.engine().schedule_after(
+      query_cost_, [this, caller, call_id, contact = std::move(contact)] {
+        ++served_;
+        auto snap = service_->query(contact);
+        if (!snap.is_ok()) {
+          endpoint_.respond_error(caller, call_id, snap.status().code(),
+                                  snap.status().message());
+          return;
+        }
+        util::Writer w;
+        encode_snapshot(w, snap.value());
+        endpoint_.respond(caller, call_id, w.take());
+      });
+}
+
+void GisServer::handle_list(net::NodeId caller, std::uint64_t call_id,
+                            util::Reader&) {
+  endpoint_.engine().schedule_after(query_cost_, [this, caller, call_id] {
+    ++served_;
+    util::Writer w;
+    w.varint(contacts_.size());
+    for (const std::string& c : contacts_) w.str(c);
+    endpoint_.respond(caller, call_id, w.take());
+  });
+}
+
+GisClient::GisClient(net::Endpoint& endpoint, net::NodeId server)
+    : endpoint_(&endpoint), server_(server) {}
+
+void GisClient::query(const std::string& contact, sim::Time timeout,
+                      SnapshotFn on_done) {
+  util::Writer w;
+  w.str(contact);
+  endpoint_->call(server_, kMethodQuery, w.take(), timeout,
+                  [on_done = std::move(on_done)](const util::Status& status,
+                                                 util::Reader& reply) {
+                    if (!status.is_ok()) {
+                      on_done(status);
+                      return;
+                    }
+                    sched::QueueSnapshot snap = decode_snapshot(reply);
+                    if (!reply.ok()) {
+                      on_done(util::Status(util::ErrorCode::kInternal,
+                                           "malformed snapshot"));
+                      return;
+                    }
+                    on_done(std::move(snap));
+                  });
+}
+
+void GisClient::list_contacts(sim::Time timeout, ContactsFn on_done) {
+  endpoint_->call(server_, kMethodListContacts, {}, timeout,
+                  [on_done = std::move(on_done)](const util::Status& status,
+                                                 util::Reader& reply) {
+                    if (!status.is_ok()) {
+                      on_done(status);
+                      return;
+                    }
+                    const std::uint64_t n = reply.varint();
+                    std::vector<std::string> contacts;
+                    contacts.reserve(n);
+                    for (std::uint64_t i = 0; i < n && reply.ok(); ++i) {
+                      contacts.push_back(reply.str());
+                    }
+                    if (!reply.ok()) {
+                      on_done(util::Status(util::ErrorCode::kInternal,
+                                           "malformed contact list"));
+                      return;
+                    }
+                    on_done(std::move(contacts));
+                  });
+}
+
+void GisClient::query_many(
+    std::vector<std::string> contacts, sim::Time timeout,
+    std::function<void(std::vector<util::Result<sched::QueueSnapshot>>)>
+        on_done) {
+  struct Gather {
+    std::vector<util::Result<sched::QueueSnapshot>> results;
+    std::size_t pending = 0;
+    std::function<void(std::vector<util::Result<sched::QueueSnapshot>>)>
+        on_done;
+  };
+  auto gather = std::make_shared<Gather>();
+  gather->pending = contacts.size();
+  gather->on_done = std::move(on_done);
+  gather->results.reserve(contacts.size());
+  for (std::size_t i = 0; i < contacts.size(); ++i) {
+    gather->results.emplace_back(
+        util::Status(util::ErrorCode::kInternal, "pending"));
+  }
+  if (contacts.empty()) {
+    gather->on_done({});
+    return;
+  }
+  for (std::size_t i = 0; i < contacts.size(); ++i) {
+    query(contacts[i], timeout,
+          [gather, i](util::Result<sched::QueueSnapshot> result) {
+            gather->results[i] = std::move(result);
+            if (--gather->pending == 0) {
+              gather->on_done(std::move(gather->results));
+            }
+          });
+  }
+}
+
+}  // namespace grid::info

@@ -1,0 +1,84 @@
+// Grid information service over the network (the MDS role in the paper's
+// resource management architecture [6]).
+//
+// LoadInformationService (sched/infoservice.hpp) models publication and
+// staleness locally; GisServer exports those published snapshots over the
+// simulated network so that remote co-allocation agents and brokers pay
+// realistic query latency, and GisClient is their access library.
+// Queries return the *published* (possibly stale) snapshot, never a live
+// view — exactly the §2.2 information model.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "net/rpc.hpp"
+#include "sched/infoservice.hpp"
+
+namespace grid::info {
+
+/// RPC method ids (0x600 block reserved for the information service).
+enum Method : std::uint32_t {
+  kMethodQuery = 0x601,      // contact -> snapshot
+  kMethodListContacts = 0x602,
+};
+
+void encode_snapshot(util::Writer& w, const sched::QueueSnapshot& snap);
+sched::QueueSnapshot decode_snapshot(util::Reader& r);
+
+class GisServer {
+ public:
+  /// `service` must outlive the server; `query_cost` models directory
+  /// lookup time per request.
+  GisServer(net::Network& network, sched::LoadInformationService& service,
+            sim::Time query_cost = 5 * sim::kMillisecond);
+
+  net::NodeId contact() const { return endpoint_.id(); }
+  std::uint64_t queries_served() const { return served_; }
+
+  /// Contacts the server will answer for (mirrors the service registry).
+  void set_contacts(std::vector<std::string> contacts);
+
+ private:
+  void handle_query(net::NodeId caller, std::uint64_t call_id,
+                    util::Reader& args);
+  void handle_list(net::NodeId caller, std::uint64_t call_id,
+                   util::Reader& args);
+
+  net::Endpoint endpoint_;
+  sched::LoadInformationService* service_;
+  sim::Time query_cost_;
+  std::uint64_t served_ = 0;
+  std::vector<std::string> contacts_;
+};
+
+class GisClient {
+ public:
+  GisClient(net::Endpoint& endpoint, net::NodeId server);
+
+  using SnapshotFn =
+      std::function<void(util::Result<sched::QueueSnapshot>)>;
+  using ContactsFn =
+      std::function<void(util::Result<std::vector<std::string>>)>;
+
+  /// Fetches the published snapshot for one resource.
+  void query(const std::string& contact, sim::Time timeout,
+             SnapshotFn on_done);
+
+  /// Lists the contacts the directory knows about.
+  void list_contacts(sim::Time timeout, ContactsFn on_done);
+
+  /// Fetches snapshots for several resources; `on_done` fires once with
+  /// one result per contact (same order).  Queries run concurrently.
+  void query_many(std::vector<std::string> contacts, sim::Time timeout,
+                  std::function<void(
+                      std::vector<util::Result<sched::QueueSnapshot>>)>
+                      on_done);
+
+ private:
+  net::Endpoint* endpoint_;
+  net::NodeId server_;
+};
+
+}  // namespace grid::info

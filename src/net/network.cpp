@@ -1,0 +1,125 @@
+#include "net/network.hpp"
+
+#include <utility>
+
+namespace grid::net {
+
+void MatrixLatency::set_pair(NodeId a, NodeId b, sim::Time one_way) {
+  pairs_[key(a, b)] = one_way;
+}
+
+sim::Time MatrixLatency::latency(NodeId src, NodeId dst, std::size_t) {
+  auto it = pairs_.find(key(src, dst));
+  return it == pairs_.end() ? default_ : it->second;
+}
+
+std::uint64_t MatrixLatency::key(NodeId a, NodeId b) {
+  if (a > b) std::swap(a, b);
+  return (static_cast<std::uint64_t>(a) << 32) | b;
+}
+
+sim::Time BandwidthLatency::latency(NodeId, NodeId, std::size_t bytes) {
+  if (bps_ <= 0.0) return base_;
+  const double serialize =
+      static_cast<double>(bytes) / bps_ * static_cast<double>(sim::kSecond);
+  return base_ + static_cast<sim::Time>(serialize);
+}
+
+Network::Network(sim::Engine& engine)
+    : engine_(&engine),
+      latency_(std::make_unique<FixedLatency>(2 * sim::kMillisecond)),
+      drop_rng_(0xda7a5eedULL) {}
+
+NodeId Network::attach(Node* node, std::string name) {
+  const NodeId id = next_id_++;
+  nodes_[id] = Slot{node, std::move(name), true};
+  return id;
+}
+
+void Network::detach(NodeId id) { nodes_.erase(id); }
+
+void Network::set_latency_model(std::unique_ptr<LatencyModel> model) {
+  if (model) latency_ = std::move(model);
+}
+
+util::Status Network::send(NodeId src, NodeId dst, std::uint32_t kind,
+                           util::Bytes payload) {
+  auto sit = nodes_.find(src);
+  if (sit == nodes_.end()) {
+    return {util::ErrorCode::kInvalidArgument, "send from unknown node"};
+  }
+  ++stats_.sent;
+  stats_.bytes_sent += payload.size();
+  if (!sit->second.up) {
+    // A crashed host cannot transmit.
+    ++stats_.dropped_down;
+    return util::Status::ok();
+  }
+  if (drop_prob_ > 0.0 && drop_rng_.chance(drop_prob_)) {
+    ++stats_.dropped_random;
+    return util::Status::ok();
+  }
+  const sim::Time dt = latency_->latency(src, dst, payload.size());
+  Message msg{src, dst, kind, std::move(payload)};
+  engine_->schedule_after(dt, [this, m = std::move(msg)]() mutable {
+    deliver(std::move(m));
+  });
+  return util::Status::ok();
+}
+
+void Network::deliver(Message msg) {
+  // Partition and liveness are evaluated at delivery time, so a partition
+  // injected while a message is in flight still swallows it.
+  if (is_partitioned(msg.src, msg.dst)) {
+    ++stats_.dropped_partition;
+    return;
+  }
+  auto it = nodes_.find(msg.dst);
+  if (it == nodes_.end() || !it->second.up || it->second.node == nullptr) {
+    ++stats_.dropped_down;
+    return;
+  }
+  ++stats_.delivered;
+  it->second.node->handle_message(msg);
+}
+
+void Network::set_node_up(NodeId id, bool up) {
+  auto it = nodes_.find(id);
+  if (it == nodes_.end()) return;
+  const bool was_up = it->second.up;
+  it->second.up = up;
+  if (was_up && !up && it->second.node != nullptr) {
+    it->second.node->on_crash();
+  }
+}
+
+bool Network::is_up(NodeId id) const {
+  auto it = nodes_.find(id);
+  return it != nodes_.end() && it->second.up;
+}
+
+void Network::set_partitioned(NodeId a, NodeId b, bool blocked) {
+  const std::uint64_t k =
+      a < b ? (static_cast<std::uint64_t>(a) << 32) | b
+            : (static_cast<std::uint64_t>(b) << 32) | a;
+  if (blocked) {
+    partitions_.insert(k);
+  } else {
+    partitions_.erase(k);
+  }
+}
+
+bool Network::is_partitioned(NodeId a, NodeId b) const {
+  const std::uint64_t k =
+      a < b ? (static_cast<std::uint64_t>(a) << 32) | b
+            : (static_cast<std::uint64_t>(b) << 32) | a;
+  return partitions_.contains(k);
+}
+
+const std::string& Network::name(NodeId id) const {
+  static const std::string kUnknown = "<unknown>";
+  auto it = nodes_.find(id);
+  return it == nodes_.end() ? kUnknown : it->second.name;
+}
+
+}  // namespace grid::net

@@ -1,0 +1,175 @@
+// Simulated network: message transport between attached nodes.
+//
+// This module stands in for the paper's LAN/WAN substrate.  Delivery takes
+// latency_model->latency(src, dst, size); messages to crashed nodes or
+// across an injected partition are dropped silently — exactly the failure
+// surface the co-allocation layer has to survive (paper §2).  Reliability
+// semantics (timeouts, retries) belong to the RPC layer above.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "simkit/codec.hpp"
+#include "simkit/engine.hpp"
+#include "simkit/rng.hpp"
+#include "simkit/status.hpp"
+
+namespace grid::net {
+
+/// Network-wide node address.  0 is never a valid address.
+using NodeId = std::uint32_t;
+inline constexpr NodeId kInvalidNode = 0;
+
+/// A framed message in flight.  `kind` is a frame type owned by the layer
+/// above (see rpc.hpp); `payload` is codec-encoded bytes.
+struct Message {
+  NodeId src = kInvalidNode;
+  NodeId dst = kInvalidNode;
+  std::uint32_t kind = 0;
+  util::Bytes payload;
+};
+
+/// Implemented by every simulated entity that receives messages.
+class Node {
+ public:
+  virtual ~Node() = default;
+
+  /// Called on message delivery (at the receiving side's virtual time).
+  virtual void handle_message(const Message& msg) = 0;
+
+  /// Called when the node's host is crashed via Network::set_node_up(false).
+  virtual void on_crash() {}
+};
+
+/// Pluggable one-way latency model.
+class LatencyModel {
+ public:
+  virtual ~LatencyModel() = default;
+  virtual sim::Time latency(NodeId src, NodeId dst, std::size_t bytes) = 0;
+};
+
+/// Constant one-way latency regardless of endpoints and size.
+class FixedLatency final : public LatencyModel {
+ public:
+  explicit FixedLatency(sim::Time one_way) : one_way_(one_way) {}
+  sim::Time latency(NodeId, NodeId, std::size_t) override { return one_way_; }
+
+ private:
+  sim::Time one_way_;
+};
+
+/// Base latency plus uniform jitter in [0, jitter].
+class JitterLatency final : public LatencyModel {
+ public:
+  JitterLatency(sim::Time base, sim::Time jitter, sim::Rng rng)
+      : base_(base), jitter_(jitter), rng_(rng) {}
+  sim::Time latency(NodeId, NodeId, std::size_t) override {
+    return base_ + (jitter_ > 0 ? rng_.uniform_time(0, jitter_) : 0);
+  }
+
+ private:
+  sim::Time base_;
+  sim::Time jitter_;
+  sim::Rng rng_;
+};
+
+/// Per-pair latency table with a default; pairs are symmetric.
+class MatrixLatency final : public LatencyModel {
+ public:
+  explicit MatrixLatency(sim::Time default_one_way)
+      : default_(default_one_way) {}
+  void set_pair(NodeId a, NodeId b, sim::Time one_way);
+  sim::Time latency(NodeId src, NodeId dst, std::size_t) override;
+
+ private:
+  static std::uint64_t key(NodeId a, NodeId b);
+  sim::Time default_;
+  std::unordered_map<std::uint64_t, sim::Time> pairs_;
+};
+
+/// Base latency plus a serialization term bytes / bandwidth.
+class BandwidthLatency final : public LatencyModel {
+ public:
+  BandwidthLatency(sim::Time base, double bytes_per_second)
+      : base_(base), bps_(bytes_per_second) {}
+  sim::Time latency(NodeId, NodeId, std::size_t bytes) override;
+
+ private:
+  sim::Time base_;
+  double bps_;
+};
+
+/// Counters for tests and reporting.
+struct NetworkStats {
+  std::uint64_t sent = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t dropped_down = 0;       // destination crashed/detached
+  std::uint64_t dropped_partition = 0;  // src-dst pair partitioned
+  std::uint64_t dropped_random = 0;     // injected loss
+  std::uint64_t bytes_sent = 0;
+};
+
+/// The network itself.  Owns addressing, delivery, and failure injection.
+class Network {
+ public:
+  explicit Network(sim::Engine& engine);
+
+  sim::Engine& engine() { return *engine_; }
+
+  /// Attaches a node and returns its address.  `name` is for diagnostics.
+  NodeId attach(Node* node, std::string name);
+
+  /// Detaches a node; in-flight messages to it are dropped on arrival.
+  void detach(NodeId id);
+
+  /// Replaces the latency model (default: fixed 2 ms one-way, the paper's
+  /// client-resource distance in §4.2).
+  void set_latency_model(std::unique_ptr<LatencyModel> model);
+
+  /// Sends a message.  Returns InvalidArgument for unknown src, but unknown
+  /// or crashed destinations are *not* an error at send time: the message is
+  /// silently dropped in flight, as on a real network.
+  util::Status send(NodeId src, NodeId dst, std::uint32_t kind,
+                    util::Bytes payload);
+
+  /// Crash (up=false) or restore (up=true) a node.  Crashing invokes
+  /// Node::on_crash and drops all in-flight messages to and from the node.
+  void set_node_up(NodeId id, bool up);
+  bool is_up(NodeId id) const;
+
+  /// Blocks (or unblocks) delivery between a pair, both directions.
+  void set_partitioned(NodeId a, NodeId b, bool blocked);
+  bool is_partitioned(NodeId a, NodeId b) const;
+
+  /// Injects i.i.d. random loss with probability p on every message.
+  void set_drop_probability(double p) { drop_prob_ = p; }
+
+  const NetworkStats& stats() const { return stats_; }
+  const std::string& name(NodeId id) const;
+  std::size_t node_count() const { return nodes_.size(); }
+
+ private:
+  struct Slot {
+    Node* node = nullptr;
+    std::string name;
+    bool up = true;
+  };
+
+  void deliver(Message msg);
+
+  sim::Engine* engine_;
+  std::unique_ptr<LatencyModel> latency_;
+  sim::Rng drop_rng_;
+  double drop_prob_ = 0.0;
+  NodeId next_id_ = 1;
+  std::unordered_map<NodeId, Slot> nodes_;
+  std::unordered_set<std::uint64_t> partitions_;
+  NetworkStats stats_;
+};
+
+}  // namespace grid::net

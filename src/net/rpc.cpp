@@ -1,0 +1,166 @@
+#include "net/rpc.hpp"
+
+#include <utility>
+
+namespace grid::net {
+
+Endpoint::Endpoint(Network& network, std::string name)
+    : network_(&network), name_(std::move(name)) {
+  id_ = network_->attach(this, name_);
+}
+
+Endpoint::~Endpoint() {
+  for (auto& [call_id, pc] : pending_) {
+    engine().cancel(pc.timeout_event);
+  }
+  network_->detach(id_);
+}
+
+std::uint64_t Endpoint::call(NodeId dst, std::uint32_t method,
+                             util::Bytes args, sim::Time timeout,
+                             ResponseFn on_response) {
+  const std::uint64_t call_id = next_call_id_++;
+  util::Writer w;
+  w.varint(call_id);
+  w.u32(method);
+  w.blob(args);
+  PendingCall pc;
+  pc.on_response = std::move(on_response);
+  if (timeout > 0) {
+    pc.timeout_event = engine().schedule_after(timeout, [this, call_id] {
+      fail_call(call_id, util::ErrorCode::kTimeout, "rpc timeout");
+    });
+  }
+  pending_.emplace(call_id, std::move(pc));
+  network_->send(id_, dst, kFrameRequest, w.take());
+  return call_id;
+}
+
+bool Endpoint::cancel_call(std::uint64_t call_id) {
+  auto it = pending_.find(call_id);
+  if (it == pending_.end()) return false;
+  engine().cancel(it->second.timeout_event);
+  pending_.erase(it);
+  return true;
+}
+
+void Endpoint::fail_call(std::uint64_t call_id, util::ErrorCode code,
+                         const std::string& message) {
+  auto it = pending_.find(call_id);
+  if (it == pending_.end()) return;
+  ResponseFn fn = std::move(it->second.on_response);
+  engine().cancel(it->second.timeout_event);
+  pending_.erase(it);
+  util::Bytes empty;
+  util::Reader r(empty);
+  const util::Status status(code, message);
+  fn(status, r);
+}
+
+void Endpoint::register_method(std::uint32_t method, MethodHandler handler) {
+  methods_[method] = std::move(handler);
+}
+
+void Endpoint::respond(NodeId caller, std::uint64_t call_id,
+                       util::Bytes result) {
+  util::Writer w;
+  w.varint(call_id);
+  w.boolean(true);
+  w.blob(result);
+  network_->send(id_, caller, kFrameResponse, w.take());
+}
+
+void Endpoint::respond_error(NodeId caller, std::uint64_t call_id,
+                             util::ErrorCode code, std::string message) {
+  util::Writer w;
+  w.varint(call_id);
+  w.boolean(false);
+  w.u8(static_cast<std::uint8_t>(code));
+  w.str(message);
+  network_->send(id_, caller, kFrameResponse, w.take());
+}
+
+void Endpoint::notify(NodeId dst, std::uint32_t kind, util::Bytes payload) {
+  util::Writer w;
+  w.u32(kind);
+  w.blob(payload);
+  network_->send(id_, dst, kFrameNotify, w.take());
+}
+
+void Endpoint::register_notify(std::uint32_t kind, NotifyHandler handler) {
+  notifies_[kind] = std::move(handler);
+}
+
+void Endpoint::handle_message(const Message& msg) {
+  if (crashed_) return;
+  util::Reader r(msg.payload);
+  switch (msg.kind) {
+    case kFrameRequest: {
+      const std::uint64_t call_id = r.varint();
+      const std::uint32_t method = r.u32();
+      const util::Bytes args = r.blob();
+      if (!r.ok()) return;  // malformed frame: drop
+      auto it = methods_.find(method);
+      if (it == methods_.end()) {
+        respond_error(msg.src, call_id, util::ErrorCode::kNotFound,
+                      "unknown method " + std::to_string(method));
+        return;
+      }
+      util::Reader args_reader(args);
+      it->second(msg.src, call_id, args_reader);
+      return;
+    }
+    case kFrameResponse: {
+      const std::uint64_t call_id = r.varint();
+      const bool ok = r.boolean();
+      auto it = pending_.find(call_id);
+      if (it == pending_.end()) return;  // late or cancelled: ignore
+      ResponseFn fn = std::move(it->second.on_response);
+      engine().cancel(it->second.timeout_event);
+      pending_.erase(it);
+      if (ok) {
+        const util::Bytes result = r.blob();
+        if (!r.ok()) {
+          util::Bytes empty;
+          util::Reader rr(empty);
+          fn(util::Status(util::ErrorCode::kInternal, "malformed response"),
+             rr);
+          return;
+        }
+        util::Reader result_reader(result);
+        fn(util::Status::ok(), result_reader);
+      } else {
+        const auto code = static_cast<util::ErrorCode>(r.u8());
+        const std::string message = r.str();
+        util::Bytes empty;
+        util::Reader rr(empty);
+        fn(util::Status(r.ok() ? code : util::ErrorCode::kInternal, message),
+           rr);
+      }
+      return;
+    }
+    case kFrameNotify: {
+      const std::uint32_t kind = r.u32();
+      const util::Bytes payload = r.blob();
+      if (!r.ok()) return;
+      auto it = notifies_.find(kind);
+      if (it == notifies_.end()) return;
+      util::Reader payload_reader(payload);
+      it->second(msg.src, payload_reader);
+      return;
+    }
+    default:
+      return;  // unknown frame: drop
+  }
+}
+
+void Endpoint::on_crash() {
+  crashed_ = true;
+  for (auto& [call_id, pc] : pending_) {
+    engine().cancel(pc.timeout_event);
+  }
+  pending_.clear();
+  if (crash_hook) crash_hook();
+}
+
+}  // namespace grid::net

@@ -1,0 +1,115 @@
+// Request/response and notification framing over the simulated network.
+//
+// Every protocol component (GRAM gatekeeper, NIS, GSI handshakes, DUROC
+// barrier) is an Endpoint.  Calls carry an id, are matched to responses,
+// and fail with kTimeout when the peer is crashed, partitioned, or slow —
+// giving the co-allocation layer the realistic failure surface it needs.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+
+#include "net/network.hpp"
+#include "simkit/codec.hpp"
+#include "simkit/engine.hpp"
+#include "simkit/status.hpp"
+
+namespace grid::net {
+
+/// Frame types used in Message::kind.
+enum Frame : std::uint32_t {
+  kFrameRequest = 1,
+  kFrameResponse = 2,
+  kFrameNotify = 3,
+};
+
+/// A bidirectional RPC endpoint attached to the network.
+///
+/// Server side: register_method() handlers receive (caller, call_id, args)
+/// and reply later via respond()/respond_error() — responses may be delayed
+/// by scheduled events to model server processing time.
+/// Client side: call() with a timeout; exactly one of the response callback
+/// invocations happens (response, error response, or timeout).
+class Endpoint : public Node {
+ public:
+  Endpoint(Network& network, std::string name);
+  ~Endpoint() override;
+
+  Endpoint(const Endpoint&) = delete;
+  Endpoint& operator=(const Endpoint&) = delete;
+
+  NodeId id() const { return id_; }
+  Network& network() { return *network_; }
+  sim::Engine& engine() { return network_->engine(); }
+  const std::string& name() const { return name_; }
+  bool crashed() const { return crashed_; }
+
+  // ---- client side -------------------------------------------------------
+
+  using ResponseFn =
+      std::function<void(const util::Status& status, util::Reader& result)>;
+
+  /// Issues a call.  `timeout` <= 0 means no timeout.  Returns a call id
+  /// usable with cancel_call().  The callback fires exactly once unless the
+  /// call is cancelled or this endpoint crashes first.
+  std::uint64_t call(NodeId dst, std::uint32_t method, util::Bytes args,
+                     sim::Time timeout, ResponseFn on_response);
+
+  /// Abandons a pending call; its callback will not fire.  Returns true if
+  /// the call was still pending.
+  bool cancel_call(std::uint64_t call_id);
+
+  std::size_t pending_calls() const { return pending_.size(); }
+
+  // ---- server side -------------------------------------------------------
+
+  using MethodHandler = std::function<void(NodeId caller, std::uint64_t call_id,
+                                           util::Reader& args)>;
+
+  void register_method(std::uint32_t method, MethodHandler handler);
+
+  void respond(NodeId caller, std::uint64_t call_id, util::Bytes result);
+  void respond_error(NodeId caller, std::uint64_t call_id, util::ErrorCode code,
+                     std::string message);
+
+  // ---- one-way notifications (used for GRAM state callbacks etc.) --------
+
+  using NotifyHandler = std::function<void(NodeId src, util::Reader& payload)>;
+
+  void notify(NodeId dst, std::uint32_t kind, util::Bytes payload);
+  void register_notify(std::uint32_t kind, NotifyHandler handler);
+
+  // ---- Node --------------------------------------------------------------
+
+  void handle_message(const Message& msg) override;
+  void on_crash() override;
+
+  /// Clears the crashed flag after the host is restored (reboot).  Pending
+  /// state from before the crash is already gone.
+  void restart() { crashed_ = false; }
+
+  /// Optional hook invoked when this endpoint's host is crashed.
+  std::function<void()> crash_hook;
+
+ private:
+  struct PendingCall {
+    ResponseFn on_response;
+    sim::EventId timeout_event;
+  };
+
+  void fail_call(std::uint64_t call_id, util::ErrorCode code,
+                 const std::string& message);
+
+  Network* network_;
+  NodeId id_;
+  std::string name_;
+  bool crashed_ = false;
+  std::uint64_t next_call_id_ = 1;
+  std::unordered_map<std::uint64_t, PendingCall> pending_;
+  std::unordered_map<std::uint32_t, MethodHandler> methods_;
+  std::unordered_map<std::uint32_t, NotifyHandler> notifies_;
+};
+
+}  // namespace grid::net

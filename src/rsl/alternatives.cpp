@@ -1,0 +1,48 @@
+#include "rsl/alternatives.hpp"
+
+#include "rsl/parser.hpp"
+
+namespace grid::rsl {
+
+util::Result<std::vector<SubjobAlternatives>> parse_with_alternatives(
+    const Spec& multi) {
+  if (!multi.is_multi()) {
+    return util::Status(util::ErrorCode::kInvalidArgument,
+                        "expected a '+' multi-request");
+  }
+  std::vector<SubjobAlternatives> out;
+  out.reserve(multi.children().size());
+  for (const Spec& child : multi.children()) {
+    SubjobAlternatives slot;
+    if (child.is_conj()) {
+      auto job = JobRequest::from_spec(child);
+      if (!job.is_ok()) return job.status();
+      slot.options.push_back(job.take());
+    } else if (child.is_disj()) {
+      if (child.children().empty()) {
+        return util::Status(util::ErrorCode::kInvalidArgument,
+                            "empty disjunction in multi-request");
+      }
+      for (const Spec& option : child.children()) {
+        auto job = JobRequest::from_spec(option);
+        if (!job.is_ok()) return job.status();
+        slot.options.push_back(job.take());
+      }
+    } else {
+      return util::Status(
+          util::ErrorCode::kInvalidArgument,
+          "multi-request children must be conjunctions or disjunctions");
+    }
+    out.push_back(std::move(slot));
+  }
+  return out;
+}
+
+util::Result<std::vector<SubjobAlternatives>> parse_with_alternatives(
+    const std::string& rsl_text) {
+  auto spec = parse_multi_request(rsl_text);
+  if (!spec.is_ok()) return spec.status();
+  return parse_with_alternatives(spec.value());
+}
+
+}  // namespace grid::rsl

@@ -1,0 +1,38 @@
+// Alternative-resource expansion of RSL disjunctions.
+//
+// RSL's '|' combinator lets a request name alternatives for one subjob
+// slot:
+//
+//   +(|(&(resourceManagerContact=A)(count=4)(executable=sim))
+//      (&(resourceManagerContact=B)(count=4)(executable=sim)))
+//    (&(resourceManagerContact=C)(count=1)(executable=master))
+//
+// means "slot 1 on A or B, slot 2 on C".  This header expands a
+// multi-request into per-slot alternative lists; core::AlternativesAgent
+// (strategies.hpp) consumes them, trying each option in order — the §3.2
+// "replace failed elements if an alternative resource can be found"
+// strategy expressed in the request language itself.
+#pragma once
+
+#include <vector>
+
+#include "rsl/attributes.hpp"
+
+namespace grid::rsl {
+
+/// The options for one subjob slot, in preference order (first is tried
+/// first).  Always non-empty after successful parsing.
+struct SubjobAlternatives {
+  std::vector<JobRequest> options;
+};
+
+/// Expands a '+' multi-request whose children are either conjunctions
+/// (one option) or disjunctions of conjunctions (several options).
+util::Result<std::vector<SubjobAlternatives>> parse_with_alternatives(
+    const Spec& multi);
+
+/// Text convenience.
+util::Result<std::vector<SubjobAlternatives>> parse_with_alternatives(
+    const std::string& rsl_text);
+
+}  // namespace grid::rsl

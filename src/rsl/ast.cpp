@@ -1,0 +1,365 @@
+#include "rsl/ast.hpp"
+
+#include <cctype>
+#include <charconv>
+
+namespace grid::rsl {
+namespace {
+
+bool needs_quoting(const std::string& text) {
+  if (text.empty()) return true;
+  for (char c : text) {
+    switch (c) {
+      case '(':
+      case ')':
+      case '&':
+      case '+':
+      case '|':
+      case '=':
+      case '<':
+      case '>':
+      case '!':
+      case '"':
+      case '\'':
+      case '$':
+        return true;
+      default:
+        if (std::isspace(static_cast<unsigned char>(c)) != 0) return true;
+    }
+  }
+  return false;
+}
+
+void print_quoted(std::string& out, const std::string& text) {
+  out += '"';
+  for (char c : text) {
+    if (c == '"') out += '"';  // doubled quote escapes
+    out += c;
+  }
+  out += '"';
+}
+
+void print_value(std::string& out, const Value& v) {
+  switch (v.kind()) {
+    case Value::Kind::kLiteral:
+      if (needs_quoting(v.text())) {
+        print_quoted(out, v.text());
+      } else {
+        out += v.text();
+      }
+      return;
+    case Value::Kind::kVariable:
+      out += "$(";
+      out += v.text();
+      out += ')';
+      return;
+    case Value::Kind::kList: {
+      out += '(';
+      bool first = true;
+      for (const Value& item : v.items()) {
+        if (!first) out += ' ';
+        first = false;
+        print_value(out, item);
+      }
+      out += ')';
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+std::string to_string(Op op) {
+  switch (op) {
+    case Op::kEq:
+      return "=";
+    case Op::kNe:
+      return "!=";
+    case Op::kLt:
+      return "<";
+    case Op::kLe:
+      return "<=";
+    case Op::kGt:
+      return ">";
+    case Op::kGe:
+      return ">=";
+  }
+  return "?";
+}
+
+std::string canonical_attribute(std::string_view name) {
+  std::string out;
+  out.reserve(name.size());
+  for (char c : name) {
+    if (c == '_') continue;
+    out += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  return out;
+}
+
+Value Value::literal(std::string text) {
+  Value v;
+  v.kind_ = Kind::kLiteral;
+  v.text_ = std::move(text);
+  return v;
+}
+
+Value Value::list(std::vector<Value> items) {
+  Value v;
+  v.kind_ = Kind::kList;
+  v.items_ = std::move(items);
+  return v;
+}
+
+Value Value::variable(std::string name) {
+  Value v;
+  v.kind_ = Kind::kVariable;
+  v.text_ = std::move(name);
+  return v;
+}
+
+std::optional<std::int64_t> Value::as_int() const {
+  if (kind_ != Kind::kLiteral || text_.empty()) return std::nullopt;
+  std::int64_t out = 0;
+  const char* first = text_.data();
+  const char* last = first + text_.size();
+  auto [ptr, ec] = std::from_chars(first, last, out);
+  if (ec != std::errc{} || ptr != last) return std::nullopt;
+  return out;
+}
+
+bool Value::operator==(const Value& other) const {
+  return kind_ == other.kind_ && text_ == other.text_ &&
+         items_ == other.items_;
+}
+
+Relation Relation::eq(std::string_view attribute, std::string value) {
+  Relation r;
+  r.attribute = canonical_attribute(attribute);
+  r.op = Op::kEq;
+  r.values.push_back(Value::literal(std::move(value)));
+  return r;
+}
+
+Relation Relation::eq(std::string_view attribute, std::int64_t value) {
+  return eq(attribute, std::to_string(value));
+}
+
+const Value* Relation::single_value() const {
+  return values.size() == 1 ? &values.front() : nullptr;
+}
+
+bool Relation::operator==(const Relation& other) const {
+  return attribute == other.attribute && op == other.op &&
+         values == other.values;
+}
+
+Spec Spec::multi(std::vector<Spec> children) {
+  Spec s;
+  s.kind_ = Kind::kMulti;
+  s.children_ = std::move(children);
+  return s;
+}
+
+Spec Spec::conj(std::vector<Spec> children) {
+  Spec s;
+  s.kind_ = Kind::kConj;
+  s.children_ = std::move(children);
+  return s;
+}
+
+Spec Spec::disj(std::vector<Spec> children) {
+  Spec s;
+  s.kind_ = Kind::kDisj;
+  s.children_ = std::move(children);
+  return s;
+}
+
+Spec Spec::relation(Relation r) {
+  Spec s;
+  s.kind_ = Kind::kRelation;
+  s.relation_ = std::move(r);
+  return s;
+}
+
+const Relation* Spec::find_relation(std::string_view attribute) const {
+  if (kind_ != Kind::kConj) return nullptr;
+  const std::string canon = canonical_attribute(attribute);
+  for (const Spec& child : children_) {
+    if (child.is_relation() && child.relation().attribute == canon) {
+      return &child.relation();
+    }
+  }
+  return nullptr;
+}
+
+void Spec::set_relation(Relation r) {
+  if (kind_ != Kind::kConj) return;
+  for (Spec& child : children_) {
+    if (child.is_relation() && child.relation().attribute == r.attribute) {
+      child.relation() = std::move(r);
+      return;
+    }
+  }
+  children_.push_back(Spec::relation(std::move(r)));
+}
+
+bool Spec::remove_relation(std::string_view attribute) {
+  if (kind_ != Kind::kConj) return false;
+  const std::string canon = canonical_attribute(attribute);
+  for (auto it = children_.begin(); it != children_.end(); ++it) {
+    if (it->is_relation() && it->relation().attribute == canon) {
+      children_.erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
+void Spec::print(std::string& out, int indent, bool pretty) const {
+  auto newline = [&](int level) {
+    if (!pretty) return;
+    out += '\n';
+    out.append(static_cast<std::size_t>(level) * 2, ' ');
+  };
+  switch (kind_) {
+    case Kind::kRelation: {
+      out += '(';
+      out += relation_.attribute;
+      out += grid::rsl::to_string(relation_.op);
+      bool first = true;
+      for (const Value& v : relation_.values) {
+        if (!first) out += ' ';
+        first = false;
+        print_value(out, v);
+      }
+      out += ')';
+      return;
+    }
+    case Kind::kMulti:
+    case Kind::kConj:
+    case Kind::kDisj: {
+      out += kind_ == Kind::kMulti ? '+' : (kind_ == Kind::kConj ? '&' : '|');
+      for (const Spec& child : children_) {
+        newline(indent + 1);
+        if (child.is_relation()) {
+          child.print(out, indent + 1, pretty);
+        } else {
+          out += '(';
+          child.print(out, indent + 1, pretty);
+          out += ')';
+        }
+      }
+      return;
+    }
+  }
+}
+
+std::string Spec::to_string() const {
+  std::string out;
+  print(out, 0, false);
+  return out;
+}
+
+std::string Spec::to_pretty_string() const {
+  std::string out;
+  print(out, 0, true);
+  return out;
+}
+
+bool Spec::operator==(const Spec& other) const {
+  return kind_ == other.kind_ && children_ == other.children_ &&
+         (kind_ != Kind::kRelation || relation_ == other.relation_);
+}
+
+namespace {
+
+util::Status substitute_value(
+    const Value& in,
+    const std::unordered_map<std::string, std::string>& bindings,
+    Value* out) {
+  switch (in.kind()) {
+    case Value::Kind::kLiteral:
+      *out = in;
+      return util::Status::ok();
+    case Value::Kind::kVariable: {
+      auto it = bindings.find(in.text());
+      if (it == bindings.end()) {
+        return {util::ErrorCode::kNotFound,
+                "unbound RSL variable $(" + in.text() + ")"};
+      }
+      *out = Value::literal(it->second);
+      return util::Status::ok();
+    }
+    case Value::Kind::kList: {
+      std::vector<Value> items;
+      items.reserve(in.items().size());
+      for (const Value& item : in.items()) {
+        Value v;
+        if (auto st = substitute_value(item, bindings, &v); !st.is_ok()) {
+          return st;
+        }
+        items.push_back(std::move(v));
+      }
+      *out = Value::list(std::move(items));
+      return util::Status::ok();
+    }
+  }
+  return {util::ErrorCode::kInternal, "corrupt value kind"};
+}
+
+util::Status substitute_spec(
+    const Spec& in,
+    const std::unordered_map<std::string, std::string>& bindings,
+    Spec* out) {
+  if (in.is_relation()) {
+    Relation r;
+    r.attribute = in.relation().attribute;
+    r.op = in.relation().op;
+    r.values.reserve(in.relation().values.size());
+    for (const Value& v : in.relation().values) {
+      Value sv;
+      if (auto st = substitute_value(v, bindings, &sv); !st.is_ok()) return st;
+      r.values.push_back(std::move(sv));
+    }
+    *out = Spec::relation(std::move(r));
+    return util::Status::ok();
+  }
+  std::vector<Spec> children;
+  children.reserve(in.children().size());
+  for (const Spec& child : in.children()) {
+    Spec sc;
+    if (auto st = substitute_spec(child, bindings, &sc); !st.is_ok()) {
+      return st;
+    }
+    children.push_back(std::move(sc));
+  }
+  switch (in.kind()) {
+    case Spec::Kind::kMulti:
+      *out = Spec::multi(std::move(children));
+      break;
+    case Spec::Kind::kConj:
+      *out = Spec::conj(std::move(children));
+      break;
+    case Spec::Kind::kDisj:
+      *out = Spec::disj(std::move(children));
+      break;
+    case Spec::Kind::kRelation:
+      break;  // handled above
+  }
+  return util::Status::ok();
+}
+
+}  // namespace
+
+util::Result<Spec> substitute_variables(
+    const Spec& spec,
+    const std::unordered_map<std::string, std::string>& bindings) {
+  Spec out;
+  if (auto st = substitute_spec(spec, bindings, &out); !st.is_ok()) {
+    return st;
+  }
+  return out;
+}
+
+}  // namespace grid::rsl

@@ -1,0 +1,79 @@
+#include "rsl/editor.hpp"
+
+#include "rsl/parser.hpp"
+
+namespace grid::rsl {
+
+RequestEditor::RequestEditor(std::vector<JobRequest> subjobs)
+    : subjobs_(std::move(subjobs)) {}
+
+util::Result<RequestEditor> RequestEditor::from_text(
+    std::string_view rsl_text) {
+  auto spec = parse_multi_request(rsl_text);
+  if (!spec.is_ok()) return spec.status();
+  auto jobs = parse_job_requests(spec.value());
+  if (!jobs.is_ok()) return jobs.status();
+  return RequestEditor(jobs.take());
+}
+
+std::size_t RequestEditor::add(JobRequest subjob) {
+  journal_.push_back(EditRecord{EditRecord::Kind::kAdd, subjobs_.size(),
+                                subjob.label, subjob.to_spec().to_string()});
+  subjobs_.push_back(std::move(subjob));
+  return subjobs_.size() - 1;
+}
+
+util::Status RequestEditor::remove(std::size_t index) {
+  if (index >= subjobs_.size()) {
+    return {util::ErrorCode::kNotFound,
+            "no subjob at index " + std::to_string(index)};
+  }
+  journal_.push_back(EditRecord{EditRecord::Kind::kDelete, index,
+                                subjobs_[index].label, ""});
+  subjobs_.erase(subjobs_.begin() + static_cast<std::ptrdiff_t>(index));
+  return util::Status::ok();
+}
+
+util::Status RequestEditor::remove_labeled(std::string_view label) {
+  const std::size_t i = find_labeled(label);
+  if (i == subjobs_.size()) {
+    return {util::ErrorCode::kNotFound,
+            "no subjob labeled '" + std::string(label) + "'"};
+  }
+  return remove(i);
+}
+
+util::Status RequestEditor::substitute(std::size_t index,
+                                       JobRequest replacement) {
+  if (index >= subjobs_.size()) {
+    return {util::ErrorCode::kNotFound,
+            "no subjob at index " + std::to_string(index)};
+  }
+  journal_.push_back(EditRecord{EditRecord::Kind::kSubstitute, index,
+                                replacement.label,
+                                replacement.to_spec().to_string()});
+  subjobs_[index] = std::move(replacement);
+  return util::Status::ok();
+}
+
+std::size_t RequestEditor::find_labeled(std::string_view label) const {
+  for (std::size_t i = 0; i < subjobs_.size(); ++i) {
+    if (subjobs_[i].label == label) return i;
+  }
+  return subjobs_.size();
+}
+
+std::int64_t RequestEditor::total_count() const {
+  std::int64_t total = 0;
+  for (const JobRequest& j : subjobs_) total += j.count;
+  return total;
+}
+
+Spec RequestEditor::to_spec() const {
+  std::vector<Spec> children;
+  children.reserve(subjobs_.size());
+  for (const JobRequest& j : subjobs_) children.push_back(j.to_spec());
+  return Spec::multi(std::move(children));
+}
+
+}  // namespace grid::rsl

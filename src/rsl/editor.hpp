@@ -1,0 +1,66 @@
+// Multi-request editor: the add / delete / substitute operations that the
+// interactive transaction strategy applies to a pending co-allocation
+// request before commit (paper §3.2).
+//
+// The editor works on the typed JobRequest list and tracks an edit journal
+// so co-allocation agents (and tests) can audit what changed.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "rsl/attributes.hpp"
+#include "simkit/status.hpp"
+
+namespace grid::rsl {
+
+/// One entry in the edit journal.
+struct EditRecord {
+  enum class Kind { kAdd, kDelete, kSubstitute };
+  Kind kind;
+  std::size_t index;      // subjob position the edit applied to
+  std::string label;      // label of the affected subjob ("" if unlabeled)
+  std::string rendering;  // RSL text of the new subjob (add/substitute)
+};
+
+class RequestEditor {
+ public:
+  explicit RequestEditor(std::vector<JobRequest> subjobs);
+
+  /// Builds an editor from RSL multi-request text.
+  static util::Result<RequestEditor> from_text(std::string_view rsl_text);
+
+  const std::vector<JobRequest>& subjobs() const { return subjobs_; }
+  std::size_t size() const { return subjobs_.size(); }
+  const std::vector<EditRecord>& journal() const { return journal_; }
+
+  /// Appends a subjob; returns its index.
+  std::size_t add(JobRequest subjob);
+
+  /// Removes the subjob at `index`.
+  util::Status remove(std::size_t index);
+
+  /// Removes the first subjob whose label matches.
+  util::Status remove_labeled(std::string_view label);
+
+  /// Replaces the subjob at `index` with `replacement`.
+  util::Status substitute(std::size_t index, JobRequest replacement);
+
+  /// Finds the first subjob with the given label; size() if absent.
+  std::size_t find_labeled(std::string_view label) const;
+
+  /// Total processes across all subjobs.
+  std::int64_t total_count() const;
+
+  /// Rebuilds the multi-request spec.
+  Spec to_spec() const;
+  std::string to_string() const { return to_spec().to_string(); }
+
+ private:
+  std::vector<JobRequest> subjobs_;
+  std::vector<EditRecord> journal_;
+};
+
+}  // namespace grid::rsl

@@ -1,0 +1,240 @@
+#include "rsl/lexer.hpp"
+
+#include <cctype>
+
+namespace grid::rsl {
+namespace {
+
+bool is_unquoted_char(char c) {
+  // Characters that terminate an unquoted literal: whitespace, structural
+  // characters, operators, and quotes.
+  switch (c) {
+    case '(':
+    case ')':
+    case '&':
+    case '+':
+    case '|':
+    case '=':
+    case '<':
+    case '>':
+    case '!':
+    case '"':
+    case '\'':
+    case '$':
+      return false;
+    default:
+      return std::isspace(static_cast<unsigned char>(c)) == 0;
+  }
+}
+
+}  // namespace
+
+std::string to_string(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::kLParen:
+      return "'('";
+    case TokenKind::kRParen:
+      return "')'";
+    case TokenKind::kAmp:
+      return "'&'";
+    case TokenKind::kPlus:
+      return "'+'";
+    case TokenKind::kPipe:
+      return "'|'";
+    case TokenKind::kEq:
+      return "'='";
+    case TokenKind::kNe:
+      return "'!='";
+    case TokenKind::kLt:
+      return "'<'";
+    case TokenKind::kLe:
+      return "'<='";
+    case TokenKind::kGt:
+      return "'>'";
+    case TokenKind::kGe:
+      return "'>='";
+    case TokenKind::kLiteral:
+      return "literal";
+    case TokenKind::kVariable:
+      return "variable";
+    case TokenKind::kEnd:
+      return "end of input";
+    case TokenKind::kError:
+      return "lexical error";
+  }
+  return "?";
+}
+
+Lexer::Lexer(std::string_view source) : src_(source) {}
+
+const Token& Lexer::peek() {
+  if (!has_peek_) {
+    peek_ = lex();
+    has_peek_ = true;
+  }
+  return peek_;
+}
+
+Token Lexer::next() {
+  if (has_peek_) {
+    has_peek_ = false;
+    return std::move(peek_);
+  }
+  return lex();
+}
+
+bool Lexer::skip_space_and_comments(Token* error_out) {
+  for (;;) {
+    while (!eof() && std::isspace(static_cast<unsigned char>(cur())) != 0) {
+      ++pos_;
+    }
+    // "(*" ... "*)" comment.
+    if (pos_ + 1 < src_.size() && src_[pos_] == '(' && src_[pos_ + 1] == '*') {
+      const std::size_t start = pos_;
+      pos_ += 2;
+      for (;;) {
+        if (pos_ + 1 >= src_.size()) {
+          *error_out = Token{TokenKind::kError, "unterminated comment", false,
+                             start};
+          return false;
+        }
+        if (src_[pos_] == '*' && src_[pos_ + 1] == ')') {
+          pos_ += 2;
+          break;
+        }
+        ++pos_;
+      }
+      continue;
+    }
+    return true;
+  }
+}
+
+Token Lexer::lex() {
+  Token err;
+  if (!skip_space_and_comments(&err)) return err;
+  const std::size_t at = pos_;
+  if (eof()) return Token{TokenKind::kEnd, "", false, at};
+  const char c = cur();
+  switch (c) {
+    case '(':
+      ++pos_;
+      return Token{TokenKind::kLParen, "(", false, at};
+    case ')':
+      ++pos_;
+      return Token{TokenKind::kRParen, ")", false, at};
+    case '&':
+      ++pos_;
+      return Token{TokenKind::kAmp, "&", false, at};
+    case '+':
+      ++pos_;
+      return Token{TokenKind::kPlus, "+", false, at};
+    case '|':
+      ++pos_;
+      return Token{TokenKind::kPipe, "|", false, at};
+    case '=':
+      ++pos_;
+      return Token{TokenKind::kEq, "=", false, at};
+    case '<':
+      ++pos_;
+      if (!eof() && cur() == '=') {
+        ++pos_;
+        return Token{TokenKind::kLe, "<=", false, at};
+      }
+      return Token{TokenKind::kLt, "<", false, at};
+    case '>':
+      ++pos_;
+      if (!eof() && cur() == '=') {
+        ++pos_;
+        return Token{TokenKind::kGe, ">=", false, at};
+      }
+      return Token{TokenKind::kGt, ">", false, at};
+    case '!':
+      ++pos_;
+      if (!eof() && cur() == '=') {
+        ++pos_;
+        return Token{TokenKind::kNe, "!=", false, at};
+      }
+      return Token{TokenKind::kError, "expected '=' after '!'", false, at};
+    case '"':
+    case '\'':
+      return lex_quoted(c);
+    case '$':
+      return lex_variable();
+    default:
+      if (is_unquoted_char(c)) return lex_unquoted();
+      return Token{TokenKind::kError,
+                   std::string("unexpected character '") + c + "'", false, at};
+  }
+}
+
+Token Lexer::lex_quoted(char quote) {
+  const std::size_t at = pos_;
+  ++pos_;  // opening quote
+  std::string text;
+  for (;;) {
+    if (eof()) {
+      return Token{TokenKind::kError, "unterminated quoted literal", false,
+                   at};
+    }
+    const char c = cur();
+    ++pos_;
+    if (c == quote) {
+      // A doubled quote is an escaped quote character.
+      if (!eof() && cur() == quote) {
+        text += quote;
+        ++pos_;
+        continue;
+      }
+      return Token{TokenKind::kLiteral, std::move(text), true, at};
+    }
+    text += c;
+  }
+}
+
+Token Lexer::lex_variable() {
+  const std::size_t at = pos_;
+  ++pos_;  // '$'
+  if (eof() || cur() != '(') {
+    return Token{TokenKind::kError, "expected '(' after '$'", false, at};
+  }
+  ++pos_;
+  std::string name;
+  while (!eof() && cur() != ')') {
+    name += cur();
+    ++pos_;
+  }
+  if (eof()) {
+    return Token{TokenKind::kError, "unterminated variable reference", false,
+                 at};
+  }
+  ++pos_;  // ')'
+  if (name.empty()) {
+    return Token{TokenKind::kError, "empty variable name", false, at};
+  }
+  return Token{TokenKind::kVariable, std::move(name), false, at};
+}
+
+Token Lexer::lex_unquoted() {
+  const std::size_t at = pos_;
+  std::string text;
+  while (!eof() && is_unquoted_char(cur())) {
+    text += cur();
+    ++pos_;
+  }
+  return Token{TokenKind::kLiteral, std::move(text), false, at};
+}
+
+std::vector<Token> tokenize(std::string_view source) {
+  Lexer lexer(source);
+  std::vector<Token> out;
+  for (;;) {
+    Token t = lexer.next();
+    const bool stop =
+        t.kind == TokenKind::kEnd || t.kind == TokenKind::kError;
+    out.push_back(std::move(t));
+    if (stop) return out;
+  }
+}
+
+}  // namespace grid::rsl

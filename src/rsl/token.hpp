@@ -1,0 +1,36 @@
+// Token stream for the RSL (Resource Specification Language) lexer.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace grid::rsl {
+
+enum class TokenKind {
+  kLParen,    // (
+  kRParen,    // )
+  kAmp,       // &   conjunction
+  kPlus,      // +   multi-request
+  kPipe,      // |   disjunction
+  kEq,        // =
+  kNe,        // !=
+  kLt,        // <
+  kLe,        // <=
+  kGt,        // >
+  kGe,        // >=
+  kLiteral,   // unquoted or quoted literal (text holds the decoded value)
+  kVariable,  // $(NAME) reference (text holds NAME)
+  kEnd,       // end of input
+  kError,     // lexical error (text holds the diagnostic)
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;     // decoded literal text, variable name, or diagnostic
+  bool quoted = false;  // literal came from a quoted string
+  std::size_t offset = 0;  // byte offset in the source, for error messages
+};
+
+std::string to_string(TokenKind kind);
+
+}  // namespace grid::rsl

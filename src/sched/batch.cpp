@@ -1,0 +1,215 @@
+#include "sched/batch.hpp"
+
+#include <algorithm>
+
+namespace grid::sched {
+
+std::int64_t QueueSnapshot::queued_work() const {
+  std::int64_t total = 0;
+  for (const QueuedJobInfo& j : queued) {
+    total += static_cast<std::int64_t>(j.count) * j.estimated_runtime;
+  }
+  return total;
+}
+
+BatchScheduler::BatchScheduler(sim::Engine& engine, std::int32_t processors,
+                               Backfill backfill)
+    : engine_(&engine),
+      total_(processors),
+      free_(processors),
+      backfill_(backfill) {}
+
+util::Status BatchScheduler::submit(const JobDescriptor& job, StartFn on_start,
+                                    EndFn on_end) {
+  if (job.count < 1) {
+    return {util::ErrorCode::kInvalidArgument, "count must be >= 1"};
+  }
+  if (job.count > total_) {
+    return {util::ErrorCode::kResourceExhausted,
+            "job needs " + std::to_string(job.count) + " processors, machine has " +
+                std::to_string(total_)};
+  }
+  if (running_.contains(job.id)) {
+    return {util::ErrorCode::kInvalidArgument, "duplicate job id"};
+  }
+  for (const Queued& q : queue_) {
+    if (q.desc.id == job.id) {
+      return {util::ErrorCode::kInvalidArgument, "duplicate job id"};
+    }
+  }
+  Queued q;
+  q.desc = job;
+  q.on_start = std::move(on_start);
+  q.on_end = std::move(on_end);
+  q.submitted_at = engine_->now();
+  q.queue_length_at_submit = static_cast<std::int32_t>(queue_.size());
+  q.queued_work_at_submit = current_queued_work();
+  queue_.push_back(std::move(q));
+  try_schedule();
+  return util::Status::ok();
+}
+
+std::int64_t BatchScheduler::current_queued_work() const {
+  std::int64_t work = 0;
+  for (const Queued& q : queue_) {
+    work += static_cast<std::int64_t>(q.desc.count) * q.desc.estimated_runtime;
+  }
+  // Remaining work of running jobs also delays newcomers.
+  const sim::Time now = engine_->now();
+  for (const auto& [id, r] : running_) {
+    const sim::Time end = estimated_end(r);
+    if (end == sim::kTimeNever || end <= now) continue;
+    work += static_cast<std::int64_t>(r.desc.count) * (end - now);
+  }
+  return work;
+}
+
+sim::Time BatchScheduler::estimated_end(const Running& r) const {
+  if (r.desc.estimated_runtime > 0) {
+    return r.started_at + r.desc.estimated_runtime;
+  }
+  if (r.desc.runtime > 0) {
+    return r.started_at + r.desc.runtime;
+  }
+  if (r.desc.max_wall_time > 0) {
+    return r.started_at + r.desc.max_wall_time;
+  }
+  return sim::kTimeNever;
+}
+
+void BatchScheduler::try_schedule() {
+  if (scheduling_) return;  // start callbacks may complete() synchronously
+  scheduling_ = true;
+  for (;;) {
+    // FCFS: start head jobs while they fit.
+    if (!queue_.empty() && queue_.front().desc.count <= free_) {
+      Queued q = std::move(queue_.front());
+      queue_.pop_front();
+      start(std::move(q));
+      continue;
+    }
+    break;
+  }
+  if (backfill_ == Backfill::kEasy && !queue_.empty()) {
+    // Compute the shadow time: the earliest instant the head job could
+    // start, assuming running jobs end at their estimated times.
+    const Queued& head = queue_.front();
+    std::vector<std::pair<sim::Time, std::int32_t>> ends;
+    ends.reserve(running_.size());
+    for (const auto& [id, r] : running_) {
+      ends.emplace_back(estimated_end(r), r.desc.count);
+    }
+    std::sort(ends.begin(), ends.end());
+    std::int32_t avail = free_;
+    sim::Time shadow = sim::kTimeNever;
+    std::int32_t extra = 0;
+    for (const auto& [end, count] : ends) {
+      avail += count;
+      if (avail >= head.desc.count) {
+        shadow = end;
+        extra = avail - head.desc.count;
+        break;
+      }
+    }
+    // Backfill later jobs that fit now and either end by the shadow time or
+    // use only the head job's spare processors.
+    const sim::Time now = engine_->now();
+    for (std::size_t i = 1; i < queue_.size();) {
+      Queued& cand = queue_[i];
+      if (cand.desc.count > free_) {
+        ++i;
+        continue;
+      }
+      const sim::Time est = cand.desc.estimated_runtime > 0
+                                ? cand.desc.estimated_runtime
+                                : cand.desc.runtime;
+      const bool ends_before_shadow =
+          shadow != sim::kTimeNever && est > 0 && now + est <= shadow;
+      const bool within_extra = cand.desc.count <= extra;
+      if (!ends_before_shadow && !within_extra) {
+        ++i;
+        continue;
+      }
+      if (!ends_before_shadow) extra -= cand.desc.count;
+      Queued q = std::move(cand);
+      queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(i));
+      start(std::move(q));
+      // Starting a job changed free_; restart the scan (indices shifted).
+      i = 1;
+    }
+  }
+  scheduling_ = false;
+}
+
+void BatchScheduler::start(Queued&& q) {
+  free_ -= q.desc.count;
+  Running r;
+  r.desc = q.desc;
+  r.on_end = std::move(q.on_end);
+  r.started_at = engine_->now();
+  const JobId id = q.desc.id;
+  history_.push_back(WaitObservation{q.submitted_at, r.started_at,
+                                     q.desc.count, q.queue_length_at_submit,
+                                     q.queued_work_at_submit});
+  auto& slot = running_.emplace(id, std::move(r)).first->second;
+  if (slot.desc.runtime > 0) {
+    slot.runtime_event = engine_->schedule_after(
+        slot.desc.runtime,
+        [this, id] { end_running(id, EndReason::kCompleted); });
+  }
+  if (slot.desc.max_wall_time > 0) {
+    slot.wall_event = engine_->schedule_after(slot.desc.max_wall_time, [this, id] {
+      end_running(id, EndReason::kWallTimeExceeded);
+    });
+  }
+  if (q.on_start) q.on_start(id);
+}
+
+void BatchScheduler::end_running(JobId id, EndReason reason) {
+  auto it = running_.find(id);
+  if (it == running_.end()) return;
+  Running r = std::move(it->second);
+  running_.erase(it);
+  engine_->cancel(r.runtime_event);
+  engine_->cancel(r.wall_event);
+  free_ += r.desc.count;
+  if (r.on_end) r.on_end(id, reason);
+  try_schedule();
+}
+
+void BatchScheduler::complete(JobId id) {
+  end_running(id, EndReason::kCompleted);
+}
+
+bool BatchScheduler::cancel(JobId id) {
+  for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+    if (it->desc.id == id) {
+      Queued q = std::move(*it);
+      queue_.erase(it);
+      if (q.on_end) q.on_end(id, EndReason::kCancelled);
+      try_schedule();  // removing a stuck head job may unblock others
+      return true;
+    }
+  }
+  if (running_.contains(id)) {
+    end_running(id, EndReason::kCancelled);
+    return true;
+  }
+  return false;
+}
+
+QueueSnapshot BatchScheduler::snapshot() const {
+  QueueSnapshot s;
+  s.taken_at = engine_->now();
+  s.total_processors = total_;
+  s.busy_processors = total_ - free_;
+  s.queued.reserve(queue_.size());
+  for (const Queued& q : queue_) {
+    s.queued.push_back(QueuedJobInfo{q.desc.id, q.desc.count,
+                                     q.desc.estimated_runtime,
+                                     q.submitted_at});
+  }
+  return s;
+}
+
+}  // namespace grid::sched

@@ -1,0 +1,85 @@
+// Space-shared batch scheduler: FCFS, optionally with EASY backfill.
+//
+// Stands in for the production schedulers (LoadLeveler, PBS, NQE) whose
+// queue waits dominate real co-allocation startup (paper §4.2's closing
+// remark) and whose unpredictability motivates the forecast and
+// reservation studies (§2.2, §5).
+#pragma once
+
+#include <deque>
+#include <unordered_map>
+
+#include "sched/scheduler.hpp"
+
+namespace grid::sched {
+
+enum class Backfill {
+  kNone,  // pure FCFS
+  kEasy,  // EASY: backfill only if the head job's start is not delayed
+};
+
+class BatchScheduler final : public LocalScheduler {
+ public:
+  BatchScheduler(sim::Engine& engine, std::int32_t processors,
+                 Backfill backfill = Backfill::kNone);
+
+  util::Status submit(const JobDescriptor& job, StartFn on_start,
+                      EndFn on_end) override;
+  void complete(JobId id) override;
+  bool cancel(JobId id) override;
+
+  std::int32_t total_processors() const override { return total_; }
+  std::int32_t busy_processors() const override { return total_ - free_; }
+  std::size_t queue_length() const override { return queue_.size(); }
+  QueueSnapshot snapshot() const override;
+  std::string policy() const override {
+    return backfill_ == Backfill::kEasy ? "easy-backfill" : "fcfs";
+  }
+
+  /// Virtual-time wait statistics of started jobs, for predictor training.
+  struct WaitObservation {
+    sim::Time submitted_at = 0;
+    sim::Time started_at = 0;
+    std::int32_t count = 0;
+    std::int32_t queue_length_at_submit = 0;
+    std::int64_t queued_work_at_submit = 0;  // processor-ns ahead of the job
+  };
+  const std::vector<WaitObservation>& wait_history() const {
+    return history_;
+  }
+
+ private:
+  struct Queued {
+    JobDescriptor desc;
+    StartFn on_start;
+    EndFn on_end;
+    sim::Time submitted_at = 0;
+    std::int32_t queue_length_at_submit = 0;
+    std::int64_t queued_work_at_submit = 0;
+  };
+  struct Running {
+    JobDescriptor desc;
+    EndFn on_end;
+    sim::Time started_at = 0;
+    sim::EventId runtime_event;
+    sim::EventId wall_event;
+  };
+
+  void try_schedule();
+  void start(Queued&& q);
+  void end_running(JobId id, EndReason reason);
+  /// Estimated completion time of a running job (kTimeNever when unknown).
+  sim::Time estimated_end(const Running& r) const;
+  std::int64_t current_queued_work() const;
+
+  sim::Engine* engine_;
+  std::int32_t total_;
+  std::int32_t free_;
+  Backfill backfill_;
+  std::deque<Queued> queue_;
+  std::unordered_map<JobId, Running> running_;
+  std::vector<WaitObservation> history_;
+  bool scheduling_ = false;  // re-entrancy guard for try_schedule
+};
+
+}  // namespace grid::sched

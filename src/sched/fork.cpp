@@ -1,0 +1,78 @@
+#include "sched/fork.hpp"
+
+namespace grid::sched {
+
+ForkScheduler::ForkScheduler(sim::Engine& engine,
+                             sim::Time fork_cost_per_process,
+                             std::int32_t nominal_processors)
+    : engine_(&engine),
+      fork_cost_(fork_cost_per_process),
+      nominal_(nominal_processors) {}
+
+util::Status ForkScheduler::submit(const JobDescriptor& job, StartFn on_start,
+                                   EndFn on_end) {
+  if (job.count < 1) {
+    return {util::ErrorCode::kInvalidArgument, "count must be >= 1"};
+  }
+  if (jobs_.contains(job.id)) {
+    return {util::ErrorCode::kInvalidArgument, "duplicate job id"};
+  }
+  Running r;
+  r.desc = job;
+  r.on_end = std::move(on_end);
+  const sim::Time delay = fork_cost_ * job.count;
+  auto& slot = jobs_.emplace(job.id, std::move(r)).first->second;
+  slot.start_event = engine_->schedule_after(
+      delay, [this, id = job.id, on_start = std::move(on_start)] {
+        start_job(id, on_start);
+      });
+  return util::Status::ok();
+}
+
+void ForkScheduler::start_job(JobId id, StartFn on_start) {
+  auto it = jobs_.find(id);
+  if (it == jobs_.end()) return;
+  Running& r = it->second;
+  r.started = true;
+  running_count_ += r.desc.count;
+  if (r.desc.runtime > 0) {
+    r.runtime_event = engine_->schedule_after(
+        r.desc.runtime, [this, id] { end_job(id, EndReason::kCompleted); });
+  }
+  if (r.desc.max_wall_time > 0) {
+    r.wall_event = engine_->schedule_after(r.desc.max_wall_time, [this, id] {
+      end_job(id, EndReason::kWallTimeExceeded);
+    });
+  }
+  if (on_start) on_start(id);
+}
+
+void ForkScheduler::end_job(JobId id, EndReason reason) {
+  auto it = jobs_.find(id);
+  if (it == jobs_.end()) return;
+  Running r = std::move(it->second);
+  jobs_.erase(it);
+  engine_->cancel(r.start_event);
+  engine_->cancel(r.runtime_event);
+  engine_->cancel(r.wall_event);
+  if (r.started) running_count_ -= r.desc.count;
+  if (r.on_end) r.on_end(id, reason);
+}
+
+void ForkScheduler::complete(JobId id) { end_job(id, EndReason::kCompleted); }
+
+bool ForkScheduler::cancel(JobId id) {
+  if (!jobs_.contains(id)) return false;
+  end_job(id, EndReason::kCancelled);
+  return true;
+}
+
+QueueSnapshot ForkScheduler::snapshot() const {
+  QueueSnapshot s;
+  s.taken_at = engine_->now();
+  s.total_processors = total_processors();
+  s.busy_processors = running_count_;
+  return s;
+}
+
+}  // namespace grid::sched

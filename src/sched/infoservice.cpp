@@ -1,0 +1,73 @@
+#include "sched/infoservice.hpp"
+
+namespace grid::sched {
+
+LoadInformationService::LoadInformationService(sim::Engine& engine,
+                                               sim::Time publish_interval)
+    : engine_(&engine), interval_(publish_interval) {}
+
+LoadInformationService::~LoadInformationService() { stop(); }
+
+void LoadInformationService::register_resource(std::string contact,
+                                               const LocalScheduler* sched) {
+  Entry e;
+  e.sched = sched;
+  if (sched != nullptr) {
+    e.last = sched->snapshot();
+    e.published = true;
+  }
+  resources_[std::move(contact)] = std::move(e);
+}
+
+void LoadInformationService::unregister_resource(const std::string& contact) {
+  resources_.erase(contact);
+}
+
+void LoadInformationService::start() {
+  if (running_ || interval_ <= 0) return;
+  running_ = true;
+  tick_event_ = engine_->schedule_after(interval_, [this] { tick(); });
+}
+
+void LoadInformationService::stop() {
+  if (!running_) return;
+  running_ = false;
+  engine_->cancel(tick_event_);
+}
+
+void LoadInformationService::tick() {
+  publish_now();
+  if (running_) {
+    tick_event_ = engine_->schedule_after(interval_, [this] { tick(); });
+  }
+}
+
+void LoadInformationService::publish_now() {
+  for (auto& [contact, entry] : resources_) {
+    if (entry.sched != nullptr) {
+      entry.last = entry.sched->snapshot();
+      entry.published = true;
+    }
+  }
+}
+
+util::Result<QueueSnapshot> LoadInformationService::query(
+    const std::string& contact) const {
+  auto it = resources_.find(contact);
+  if (it == resources_.end() || !it->second.published) {
+    return util::Status(util::ErrorCode::kNotFound,
+                        "no published information for '" + contact + "'");
+  }
+  if (interval_ <= 0 && it->second.sched != nullptr) {
+    return it->second.sched->snapshot();  // perfect information mode
+  }
+  return it->second.last;
+}
+
+sim::Time LoadInformationService::staleness(const std::string& contact) const {
+  auto it = resources_.find(contact);
+  if (it == resources_.end() || !it->second.published) return sim::kTimeNever;
+  return engine_->now() - it->second.last.taken_at;
+}
+
+}  // namespace grid::sched

@@ -1,0 +1,65 @@
+// Grid information service: published queue-state snapshots.
+//
+// Models the paper §2.2 option of resource managers "publish[ing]
+// information about the current queue contents and scheduling policy".
+// Snapshots are refreshed on a fixed interval, so queries observe stale
+// data — the staleness that reference [14]'s simulation study identifies
+// as the limit on forecast-guided co-allocation (see bench/ablate_forecast).
+#pragma once
+
+#include <string>
+#include <unordered_map>
+
+#include "sched/scheduler.hpp"
+#include "simkit/engine.hpp"
+
+namespace grid::sched {
+
+class LoadInformationService {
+ public:
+  /// Snapshots are refreshed every `publish_interval`; 0 publishes on every
+  /// query (perfect information).
+  LoadInformationService(sim::Engine& engine, sim::Time publish_interval);
+  ~LoadInformationService();
+
+  LoadInformationService(const LoadInformationService&) = delete;
+  LoadInformationService& operator=(const LoadInformationService&) = delete;
+
+  /// Registers a resource under its manager contact string.  The scheduler
+  /// must outlive the service.
+  void register_resource(std::string contact, const LocalScheduler* sched);
+  void unregister_resource(const std::string& contact);
+
+  /// Begins periodic publication (idempotent).
+  void start();
+  void stop();
+
+  /// Refreshes all snapshots immediately.
+  void publish_now();
+
+  /// Most recently published snapshot; kNotFound for unknown contacts.
+  util::Result<QueueSnapshot> query(const std::string& contact) const;
+
+  /// Age of the published snapshot for a contact (kTimeNever if unknown).
+  sim::Time staleness(const std::string& contact) const;
+
+  std::size_t resource_count() const { return resources_.size(); }
+  sim::Time publish_interval() const { return interval_; }
+
+ private:
+  struct Entry {
+    const LocalScheduler* sched = nullptr;
+    QueueSnapshot last;
+    bool published = false;
+  };
+
+  void tick();
+
+  sim::Engine* engine_;
+  sim::Time interval_;
+  bool running_ = false;
+  sim::EventId tick_event_;
+  std::unordered_map<std::string, Entry> resources_;
+};
+
+}  // namespace grid::sched

@@ -1,0 +1,283 @@
+#include "sched/reservation.hpp"
+
+#include <algorithm>
+
+namespace grid::sched {
+
+ReservationScheduler::ReservationScheduler(sim::Engine& engine,
+                                           std::int32_t processors,
+                                           sim::Time default_estimate)
+    : engine_(&engine), total_(processors),
+      default_estimate_(default_estimate) {}
+
+sim::Time ReservationScheduler::job_estimate(const JobDescriptor& d) const {
+  if (d.estimated_runtime > 0) return d.estimated_runtime;
+  if (d.runtime > 0) return d.runtime;
+  if (d.max_wall_time > 0) return d.max_wall_time;
+  return default_estimate_;
+}
+
+std::int32_t ReservationScheduler::reserved_at(sim::Time t) const {
+  std::int32_t sum = 0;
+  for (const Reservation& r : reservations_) {
+    if (r.start <= t && t < r.end) sum += r.count;
+  }
+  return sum;
+}
+
+std::int32_t ReservationScheduler::max_reserved_over(sim::Time from,
+                                                     sim::Time to,
+                                                     ReservationId skip) const {
+  // reserved_at is piecewise constant with breakpoints at window starts, so
+  // evaluating at `from` and at every start inside (from, to) is exact.
+  auto at = [&](sim::Time t) {
+    std::int32_t sum = 0;
+    for (const Reservation& r : reservations_) {
+      if (r.id != skip && r.start <= t && t < r.end) sum += r.count;
+    }
+    return sum;
+  };
+  std::int32_t best = at(from);
+  for (const Reservation& r : reservations_) {
+    if (r.id != skip && r.start > from && r.start < to) {
+      best = std::max(best, at(r.start));
+    }
+  }
+  return best;
+}
+
+std::int32_t ReservationScheduler::estimated_running_at(sim::Time t) const {
+  std::int32_t sum = 0;
+  for (const auto& [id, r] : running_) {
+    if (r.reservation != 0) continue;  // accounted by its reservation window
+    if (r.started_at + job_estimate(r.desc) > t) sum += r.desc.count;
+  }
+  return sum;
+}
+
+util::Result<Reservation> ReservationScheduler::reserve(sim::Time start,
+                                                        sim::Time end,
+                                                        std::int32_t count) {
+  const sim::Time now = engine_->now();
+  if (start < now) start = now;
+  if (end <= start) {
+    return util::Status(util::ErrorCode::kInvalidArgument,
+                        "reservation window is empty");
+  }
+  if (count < 1 || count > total_) {
+    return util::Status(util::ErrorCode::kResourceExhausted,
+                        "reservation for " + std::to_string(count) +
+                            " processors on a " + std::to_string(total_) +
+                            "-processor machine");
+  }
+  // Admission: at every breakpoint in the window, existing reservations plus
+  // the estimated tail of running best-effort work plus this reservation
+  // must fit the machine.
+  std::vector<sim::Time> points{start};
+  for (const Reservation& r : reservations_) {
+    if (r.start > start && r.start < end) points.push_back(r.start);
+  }
+  for (sim::Time t : points) {
+    if (reserved_at(t) + estimated_running_at(t) + count > total_) {
+      return util::Status(util::ErrorCode::kResourceExhausted,
+                          "reservation window conflicts with existing load");
+    }
+  }
+  Reservation r;
+  r.id = next_reservation_++;
+  r.start = start;
+  r.end = end;
+  r.count = count;
+  reservations_.push_back(r);
+  // Window-start: start any bound jobs; window-end: reclaim and kill.
+  engine_->schedule_at(start, [this] { try_schedule(); });
+  engine_->schedule_at(end, [this, rid = r.id] {
+    std::vector<JobId> to_kill;
+    for (const auto& [jid, run] : running_) {
+      if (run.reservation == rid) to_kill.push_back(jid);
+    }
+    for (JobId jid : to_kill) end_running(jid, EndReason::kWallTimeExceeded);
+    std::erase_if(reservations_,
+                  [rid](const Reservation& x) { return x.id == rid; });
+    try_schedule();
+  });
+  return r;
+}
+
+bool ReservationScheduler::cancel_reservation(ReservationId id) {
+  const std::size_t before = reservations_.size();
+  std::erase_if(reservations_,
+                [id](const Reservation& r) { return r.id == id; });
+  if (reservations_.size() == before) return false;
+  try_schedule();
+  return true;
+}
+
+util::Status ReservationScheduler::submit_reserved(const JobDescriptor& job,
+                                                   ReservationId rid,
+                                                   StartFn on_start,
+                                                   EndFn on_end) {
+  auto it = std::find_if(reservations_.begin(), reservations_.end(),
+                         [rid](const Reservation& r) { return r.id == rid; });
+  if (it == reservations_.end()) {
+    return {util::ErrorCode::kNotFound, "unknown reservation"};
+  }
+  if (job.count > it->count) {
+    return {util::ErrorCode::kResourceExhausted,
+            "job exceeds reservation capacity"};
+  }
+  Queued q;
+  q.desc = job;
+  q.on_start = std::move(on_start);
+  q.on_end = std::move(on_end);
+  q.submitted_at = engine_->now();
+  q.reservation = rid;
+  queue_.push_back(std::move(q));
+  try_schedule();
+  return util::Status::ok();
+}
+
+util::Status ReservationScheduler::submit(const JobDescriptor& job,
+                                          StartFn on_start, EndFn on_end) {
+  if (job.count < 1) {
+    return {util::ErrorCode::kInvalidArgument, "count must be >= 1"};
+  }
+  if (job.count > total_) {
+    return {util::ErrorCode::kResourceExhausted, "job exceeds machine size"};
+  }
+  Queued q;
+  q.desc = job;
+  q.on_start = std::move(on_start);
+  q.on_end = std::move(on_end);
+  q.submitted_at = engine_->now();
+  queue_.push_back(std::move(q));
+  try_schedule();
+  return util::Status::ok();
+}
+
+void ReservationScheduler::try_schedule() {
+  if (scheduling_) return;
+  scheduling_ = true;
+  const sim::Time now = engine_->now();
+  bool progressed = true;
+  while (progressed) {
+    progressed = false;
+    // Pass 1: reservation-bound jobs run in capacity that was blocked at
+    // admission time, so they start the moment their window opens — they
+    // are never gated behind the best-effort FCFS head.
+    for (std::size_t i = 0; i < queue_.size(); ++i) {
+      Queued& q = queue_[i];
+      if (q.reservation == 0) continue;
+      auto it = std::find_if(
+          reservations_.begin(), reservations_.end(),
+          [&](const Reservation& r) { return r.id == q.reservation; });
+      if (it == reservations_.end()) {
+        // Reservation expired or cancelled before the job could start.
+        Queued dead = std::move(q);
+        queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(i));
+        if (dead.on_end) dead.on_end(dead.desc.id, EndReason::kCancelled);
+        progressed = true;
+        break;
+      }
+      if (it->start <= now) {
+        Queued ready = std::move(q);
+        queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(i));
+        start(std::move(ready));
+        progressed = true;
+        break;
+      }
+    }
+    if (progressed) continue;
+    // Pass 2: best-effort FCFS — only the first best-effort job is
+    // considered, and only if it cannot collide with any admitted window.
+    for (std::size_t i = 0; i < queue_.size(); ++i) {
+      Queued& q = queue_[i];
+      if (q.reservation != 0) continue;
+      std::int32_t busy_best = 0;
+      for (const auto& [id, r] : running_) {
+        if (r.reservation == 0) busy_best += r.desc.count;
+      }
+      const sim::Time est = job_estimate(q.desc);
+      const std::int32_t reserved_peak =
+          max_reserved_over(now, now + est, /*skip=*/0);
+      if (busy_best + q.desc.count + reserved_peak <= total_) {
+        Queued ready = std::move(q);
+        queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(i));
+        start(std::move(ready));
+        progressed = true;
+      }
+      break;  // FCFS: never look past the first best-effort job
+    }
+  }
+  scheduling_ = false;
+}
+
+void ReservationScheduler::start(Queued&& q) {
+  busy_ += q.desc.count;
+  Running r;
+  r.desc = q.desc;
+  r.on_end = std::move(q.on_end);
+  r.started_at = engine_->now();
+  r.reservation = q.reservation;
+  const JobId id = q.desc.id;
+  auto& slot = running_.emplace(id, std::move(r)).first->second;
+  if (slot.desc.runtime > 0) {
+    slot.runtime_event = engine_->schedule_after(
+        slot.desc.runtime,
+        [this, id] { end_running(id, EndReason::kCompleted); });
+  }
+  if (slot.desc.max_wall_time > 0) {
+    slot.wall_event = engine_->schedule_after(slot.desc.max_wall_time, [this, id] {
+      end_running(id, EndReason::kWallTimeExceeded);
+    });
+  }
+  if (q.on_start) q.on_start(id);
+}
+
+void ReservationScheduler::end_running(JobId id, EndReason reason) {
+  auto it = running_.find(id);
+  if (it == running_.end()) return;
+  Running r = std::move(it->second);
+  running_.erase(it);
+  engine_->cancel(r.runtime_event);
+  engine_->cancel(r.wall_event);
+  busy_ -= r.desc.count;
+  if (r.on_end) r.on_end(id, reason);
+  try_schedule();
+}
+
+void ReservationScheduler::complete(JobId id) {
+  end_running(id, EndReason::kCompleted);
+}
+
+bool ReservationScheduler::cancel(JobId id) {
+  for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+    if (it->desc.id == id) {
+      Queued q = std::move(*it);
+      queue_.erase(it);
+      if (q.on_end) q.on_end(id, EndReason::kCancelled);
+      try_schedule();
+      return true;
+    }
+  }
+  if (running_.contains(id)) {
+    end_running(id, EndReason::kCancelled);
+    return true;
+  }
+  return false;
+}
+
+QueueSnapshot ReservationScheduler::snapshot() const {
+  QueueSnapshot s;
+  s.taken_at = engine_->now();
+  s.total_processors = total_;
+  s.busy_processors = busy_;
+  for (const Queued& q : queue_) {
+    s.queued.push_back(QueuedJobInfo{q.desc.id, q.desc.count,
+                                     q.desc.estimated_runtime,
+                                     q.submitted_at});
+  }
+  return s;
+}
+
+}  // namespace grid::sched

@@ -1,0 +1,93 @@
+// Local scheduler interface: the resource-local allocation policy that a
+// GRAM job manager submits to (paper §2.1's LoadLeveler/PBS/NQE role).
+//
+// A scheduler owns a pool of processors.  Jobs are submitted with a
+// processor count; the scheduler decides when they start and invokes the
+// start callback.  Jobs either self-complete after `runtime` (synthetic
+// background load) or run until the owner calls complete() (application
+// jobs whose lifetime the simulation controls).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "simkit/engine.hpp"
+#include "simkit/status.hpp"
+#include "simkit/time.hpp"
+
+namespace grid::sched {
+
+using JobId = std::uint64_t;
+
+/// What the scheduler needs to know about a job.
+struct JobDescriptor {
+  JobId id = 0;
+  std::int32_t count = 1;  // processors
+  /// User-supplied runtime estimate; backfill trusts it, FCFS ignores it.
+  sim::Time estimated_runtime = 0;
+  /// If > 0 the scheduler self-completes the job this long after start
+  /// (synthetic load).  If 0 the owner must call complete().
+  sim::Time runtime = 0;
+  /// Hard limit: the scheduler kills the job this long after start.
+  sim::Time max_wall_time = 0;
+  std::string annotation;  // diagnostics only
+};
+
+/// Why a running or queued job left the scheduler.
+enum class EndReason { kCompleted, kCancelled, kWallTimeExceeded };
+
+struct QueuedJobInfo {
+  JobId id = 0;
+  std::int32_t count = 0;
+  sim::Time estimated_runtime = 0;
+  sim::Time submitted_at = 0;
+};
+
+/// Point-in-time view of a scheduler used by predictors and information
+/// services (paper §2.2: "publish information about the current queue
+/// contents and scheduling policy").
+struct QueueSnapshot {
+  sim::Time taken_at = 0;
+  std::int32_t total_processors = 0;
+  std::int32_t busy_processors = 0;
+  std::vector<QueuedJobInfo> queued;
+
+  /// Aggregate queued work in processor-nanoseconds.
+  std::int64_t queued_work() const;
+};
+
+class LocalScheduler {
+ public:
+  /// Invoked when the scheduler allocates processors and starts the job.
+  using StartFn = std::function<void(JobId)>;
+  /// Invoked when a job ends for any reason after having started, or is
+  /// cancelled while queued.
+  using EndFn = std::function<void(JobId, EndReason)>;
+
+  virtual ~LocalScheduler() = default;
+
+  /// Enqueues a job.  Fails with kResourceExhausted if the job can never
+  /// run (count exceeds the machine), kInvalidArgument for bad descriptors.
+  virtual util::Status submit(const JobDescriptor& job, StartFn on_start,
+                              EndFn on_end) = 0;
+
+  /// Marks a started job's processes as finished, freeing processors.
+  /// No-op for unknown ids.
+  virtual void complete(JobId id) = 0;
+
+  /// Removes a queued job or kills a running one.  Returns false for
+  /// unknown ids.
+  virtual bool cancel(JobId id) = 0;
+
+  virtual std::int32_t total_processors() const = 0;
+  virtual std::int32_t busy_processors() const = 0;
+  virtual std::size_t queue_length() const = 0;
+  virtual QueueSnapshot snapshot() const = 0;
+
+  /// Human-readable policy name ("fork", "fcfs", "easy-backfill", ...).
+  virtual std::string policy() const = 0;
+};
+
+}  // namespace grid::sched

@@ -1,0 +1,79 @@
+#include "simkit/codec.hpp"
+
+namespace grid::util {
+
+void Writer::varint(std::uint64_t v) {
+  while (v >= 0x80) {
+    buf_.push_back(static_cast<std::uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  buf_.push_back(static_cast<std::uint8_t>(v));
+}
+
+void Writer::str(std::string_view s) {
+  varint(s.size());
+  buf_.insert(buf_.end(), s.begin(), s.end());
+}
+
+void Writer::blob(const Bytes& b) {
+  varint(b.size());
+  buf_.insert(buf_.end(), b.begin(), b.end());
+}
+
+bool Reader::take(std::size_t n) {
+  if (!ok_ || size_ - pos_ < n) {
+    ok_ = false;
+    return false;
+  }
+  pos_ += n;
+  return true;
+}
+
+std::uint8_t Reader::u8() {
+  if (!take(1)) return 0;
+  return data_[pos_ - 1];
+}
+
+double Reader::f64() {
+  const std::uint64_t bits = u64();
+  double v;
+  std::memcpy(&v, &bits, sizeof v);
+  return ok_ ? v : 0.0;
+}
+
+std::uint64_t Reader::varint() {
+  std::uint64_t v = 0;
+  for (int shift = 0; shift < 64; shift += 7) {
+    if (!take(1)) return 0;
+    const std::uint8_t b = data_[pos_ - 1];
+    v |= static_cast<std::uint64_t>(b & 0x7f) << shift;
+    if ((b & 0x80) == 0) return v;
+  }
+  ok_ = false;  // varint longer than 64 bits
+  return 0;
+}
+
+std::string Reader::str() {
+  const std::uint64_t n = varint();
+  if (!ok_ || size_ - pos_ < n) {
+    ok_ = false;
+    return {};
+  }
+  std::string s(reinterpret_cast<const char*>(data_ + pos_),
+                static_cast<std::size_t>(n));
+  pos_ += static_cast<std::size_t>(n);
+  return s;
+}
+
+Bytes Reader::blob() {
+  const std::uint64_t n = varint();
+  if (!ok_ || size_ - pos_ < n) {
+    ok_ = false;
+    return {};
+  }
+  Bytes b(data_ + pos_, data_ + pos_ + n);
+  pos_ += static_cast<std::size_t>(n);
+  return b;
+}
+
+}  // namespace grid::util

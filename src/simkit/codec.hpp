@@ -1,0 +1,109 @@
+// Byte-level serialization for protocol messages.
+//
+// Every wire protocol in the simulation (GRAM, GSI, NIS, DUROC barrier,
+// gridmpi) encodes its messages through this codec rather than passing
+// object pointers around, so the protocols are honest about what crosses
+// the network: sizes are accountable and decoding can fail.
+//
+// Format: little-endian fixed-width integers, LEB128 varints for lengths,
+// length-prefixed strings/blobs.  Decoding is bounds-checked; a decode past
+// the end or an oversized length marks the reader bad instead of throwing.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace grid::util {
+
+using Bytes = std::vector<std::uint8_t>;
+
+/// Appends primitive values to a byte buffer.
+class Writer {
+ public:
+  Writer() = default;
+
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+  void u16(std::uint16_t v) { put_le(v); }
+  void u32(std::uint32_t v) { put_le(v); }
+  void u64(std::uint64_t v) { put_le(v); }
+  void i32(std::int32_t v) { put_le(static_cast<std::uint32_t>(v)); }
+  void i64(std::int64_t v) { put_le(static_cast<std::uint64_t>(v)); }
+  void f64(double v) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, sizeof bits);
+    put_le(bits);
+  }
+  void boolean(bool v) { u8(v ? 1 : 0); }
+
+  /// Unsigned LEB128 varint.
+  void varint(std::uint64_t v);
+
+  /// Length-prefixed string.
+  void str(std::string_view s);
+
+  /// Length-prefixed opaque blob.
+  void blob(const Bytes& b);
+
+  const Bytes& bytes() const { return buf_; }
+  Bytes take() { return std::move(buf_); }
+  std::size_t size() const { return buf_.size(); }
+
+ private:
+  template <typename T>
+  void put_le(T v) {
+    for (std::size_t i = 0; i < sizeof(T); ++i) {
+      buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+  }
+  Bytes buf_;
+};
+
+/// Bounds-checked reader over a byte buffer.  After any failed read the
+/// reader is "bad": all further reads return zero values and ok() is false.
+class Reader {
+ public:
+  explicit Reader(const Bytes& buf) : data_(buf.data()), size_(buf.size()) {}
+  Reader(const std::uint8_t* data, std::size_t size)
+      : data_(data), size_(size) {}
+
+  std::uint8_t u8();
+  std::uint16_t u16() { return get_le<std::uint16_t>(); }
+  std::uint32_t u32() { return get_le<std::uint32_t>(); }
+  std::uint64_t u64() { return get_le<std::uint64_t>(); }
+  std::int32_t i32() { return static_cast<std::int32_t>(u32()); }
+  std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+  double f64();
+  bool boolean() { return u8() != 0; }
+  std::uint64_t varint();
+  std::string str();
+  Bytes blob();
+
+  bool ok() const { return ok_; }
+  /// True when the reader is still ok and fully consumed.
+  bool done() const { return ok_ && pos_ == size_; }
+  std::size_t remaining() const { return size_ - pos_; }
+
+ private:
+  template <typename T>
+  T get_le() {
+    if (!take(sizeof(T))) return T{};
+    T v{};
+    for (std::size_t i = 0; i < sizeof(T); ++i) {
+      v = static_cast<T>(v | (static_cast<T>(data_[pos_ - sizeof(T) + i])
+                              << (8 * i)));
+    }
+    return v;
+  }
+  bool take(std::size_t n);
+
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+}  // namespace grid::util

@@ -1,0 +1,87 @@
+#include "simkit/engine.hpp"
+
+#include <cassert>
+#include <memory>
+
+namespace grid::sim {
+
+Engine::~Engine() {
+  while (!queue_.empty()) {
+    delete queue_.top();
+    queue_.pop();
+  }
+}
+
+EventId Engine::schedule_at(Time t, Callback fn) {
+  if (t < now_) t = now_;
+  const std::uint64_t seq = next_seq_++;
+  auto* e = new Entry{t, seq, std::move(fn)};
+  queue_.push(e);
+  index_.emplace(seq, e);
+  ++live_;
+  return EventId(seq);
+}
+
+bool Engine::cancel(EventId id) {
+  auto it = index_.find(id.seq_);
+  if (it == index_.end()) return false;
+  it->second->cancelled = true;
+  it->second->fn = nullptr;  // release captured state eagerly
+  index_.erase(it);
+  --live_;
+  return true;
+}
+
+Engine::Entry* Engine::pop_next() {
+  while (!queue_.empty()) {
+    Entry* e = queue_.top();
+    queue_.pop();
+    if (e->cancelled) {
+      delete e;
+      continue;
+    }
+    return e;
+  }
+  return nullptr;
+}
+
+bool Engine::step() {
+  Entry* e = pop_next();
+  if (e == nullptr) return false;
+  assert(e->at >= now_);
+  now_ = e->at;
+  index_.erase(e->seq);
+  --live_;
+  ++executed_;
+  Callback fn = std::move(e->fn);
+  delete e;
+  fn();
+  return true;
+}
+
+void Engine::run() {
+  while (step()) {
+  }
+}
+
+void Engine::run_until(Time deadline) {
+  for (;;) {
+    Entry* e = pop_next();
+    if (e == nullptr) return;
+    if (e->at > deadline) {
+      // Put it back untouched; the clock stops at the deadline.
+      queue_.push(e);
+      now_ = deadline > now_ ? deadline : now_;
+      return;
+    }
+    now_ = e->at;
+    index_.erase(e->seq);
+    --live_;
+    ++executed_;
+    Callback fn = std::move(e->fn);
+    delete e;
+    fn();
+  }
+}
+
+}  // namespace grid::sim

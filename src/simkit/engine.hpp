@@ -1,0 +1,102 @@
+// Discrete-event simulation engine.
+//
+// The engine owns a priority queue of (time, sequence, callback) events and
+// advances a virtual clock.  Events scheduled for the same instant fire in
+// scheduling order (FIFO), which makes protocol traces deterministic.
+// Cancellation is O(1) via generation-checked handles with lazy removal.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "simkit/time.hpp"
+
+namespace grid::sim {
+
+/// Opaque handle to a scheduled event; valid until the event fires or is
+/// cancelled.  A default-constructed handle refers to no event.
+class EventId {
+ public:
+  EventId() = default;
+  bool valid() const { return seq_ != 0; }
+  friend bool operator==(const EventId&, const EventId&) = default;
+
+ private:
+  friend class Engine;
+  explicit EventId(std::uint64_t seq) : seq_(seq) {}
+  std::uint64_t seq_ = 0;
+};
+
+/// The simulation engine.  Not thread-safe: a simulation is a single-threaded
+/// event loop by design (see DESIGN.md §5.2); determinism is the point.
+class Engine {
+ public:
+  using Callback = std::function<void()>;
+
+  Engine() = default;
+  ~Engine();
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Current virtual time.
+  Time now() const { return now_; }
+
+  /// Schedules `fn` to run at absolute virtual time `t` (>= now()).
+  /// Scheduling in the past is clamped to now().
+  EventId schedule_at(Time t, Callback fn);
+
+  /// Schedules `fn` to run `delay` after the current time.
+  EventId schedule_after(Time delay, Callback fn) {
+    return schedule_at(delay >= kTimeNever - now_ ? kTimeNever : now_ + delay,
+                       std::move(fn));
+  }
+
+  /// Cancels a pending event.  Returns true if the event was still pending.
+  bool cancel(EventId id);
+
+  /// Runs a single event.  Returns false if the queue is empty.
+  bool step();
+
+  /// Runs until the event queue is empty.
+  void run();
+
+  /// Runs until the clock would pass `deadline` or the queue drains.
+  /// The clock is left at min(deadline, last event time).
+  void run_until(Time deadline);
+
+  /// Number of pending (non-cancelled) events.
+  std::size_t pending() const { return live_; }
+
+  /// Total number of events executed since construction.
+  std::uint64_t executed() const { return executed_; }
+
+ private:
+  struct Entry {
+    Time at;
+    std::uint64_t seq;  // tie-break: FIFO among same-time events
+    Callback fn;
+    bool cancelled = false;
+  };
+  struct Order {
+    bool operator()(const Entry* a, const Entry* b) const {
+      if (a->at != b->at) return a->at > b->at;
+      return a->seq > b->seq;
+    }
+  };
+
+  Entry* pop_next();
+
+  Time now_ = 0;
+  std::uint64_t next_seq_ = 1;
+  std::uint64_t executed_ = 0;
+  std::size_t live_ = 0;
+  std::priority_queue<Entry*, std::vector<Entry*>, Order> queue_;
+  // seq -> live entry, for cancellation.  queue_ owns the Entry allocations;
+  // index_ only references live (not-yet-fired, not-cancelled) ones.
+  std::unordered_map<std::uint64_t, Entry*> index_;
+};
+
+}  // namespace grid::sim

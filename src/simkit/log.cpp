@@ -1,0 +1,67 @@
+#include "simkit/log.hpp"
+
+#include <cstdio>
+
+#include "simkit/time.hpp"
+
+namespace grid::util {
+namespace {
+
+LogLevel g_default_level = LogLevel::kWarn;
+
+void stderr_sink(std::string_view line) {
+  std::fwrite(line.data(), 1, line.size(), stderr);
+  std::fputc('\n', stderr);
+}
+
+}  // namespace
+
+std::string_view to_string(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace:
+      return "TRACE";
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kOff:
+      return "OFF";
+  }
+  return "?";
+}
+
+Logger::Logger(const sim::Engine& engine, std::string component)
+    : engine_(&engine),
+      component_(std::move(component)),
+      level_(g_default_level),
+      sink_(stderr_sink) {}
+
+Logger Logger::child(std::string_view sub) const {
+  Logger c = *this;
+  c.component_ = component_ + "/" + std::string(sub);
+  return c;
+}
+
+void Logger::log(LogLevel level, std::string_view msg) const {
+  if (!enabled(level) || !sink_) return;
+  std::string line;
+  line.reserve(msg.size() + component_.size() + 32);
+  line += "[";
+  line += sim::format_time(engine_->now());
+  line += "] ";
+  line += to_string(level);
+  line += " ";
+  line += component_;
+  line += ": ";
+  line += msg;
+  sink_(line);
+}
+
+void Logger::set_default_level(LogLevel level) { g_default_level = level; }
+LogLevel Logger::default_level() { return g_default_level; }
+
+}  // namespace grid::util

@@ -1,0 +1,81 @@
+// Lightweight status / result types used across module boundaries.
+//
+// The library reports recoverable errors by value (no exceptions on hot
+// protocol paths); exceptions are reserved for programming errors.
+#pragma once
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace grid::util {
+
+/// Error category for cross-module error reporting.
+enum class ErrorCode {
+  kOk = 0,
+  kInvalidArgument,   // malformed RSL, bad parameters
+  kNotFound,          // unknown host, job, or attribute
+  kPermissionDenied,  // GSI authentication/authorization failure
+  kUnavailable,       // resource down, link partitioned
+  kTimeout,           // deadline elapsed
+  kResourceExhausted, // scheduler cannot satisfy the request
+  kFailedPrecondition,// operation illegal in current state (e.g. edit after commit)
+  kAborted,           // co-allocation aborted (required subjob failed)
+  kInternal,          // bug or protocol violation
+};
+
+std::string to_string(ErrorCode code);
+
+class Status {
+ public:
+  Status() = default;  // OK
+  Status(ErrorCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status ok() { return Status(); }
+
+  bool is_ok() const { return code_ == ErrorCode::kOk; }
+  ErrorCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  std::string to_string() const;
+
+ private:
+  ErrorCode code_ = ErrorCode::kOk;
+  std::string message_;
+};
+
+/// A value or a Status; asserts on wrong-side access.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.is_ok() && "Result from OK status needs a value");
+  }
+  Result(ErrorCode code, std::string message)
+      : status_(code, std::move(message)) {}
+
+  bool is_ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(is_ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(is_ok());
+    return *value_;
+  }
+  T&& take() {
+    assert(is_ok());
+    return std::move(*value_);
+  }
+
+ private:
+  std::optional<T> value_;
+  Status status_;
+};
+
+}  // namespace grid::util

@@ -1,0 +1,27 @@
+#include "simkit/time.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace grid::sim {
+
+std::string format_time(Time t) {
+  char buf[64];
+  if (t == kTimeNever) {
+    return "never";
+  }
+  const char* sign = t < 0 ? "-" : "";
+  const Time a = t < 0 ? -t : t;
+  if (a >= kSecond) {
+    std::snprintf(buf, sizeof buf, "%s%.3fs", sign, to_seconds(a));
+  } else if (a >= kMillisecond) {
+    std::snprintf(buf, sizeof buf, "%s%.3fms", sign, to_millis(a));
+  } else if (a >= kMicrosecond) {
+    std::snprintf(buf, sizeof buf, "%s%" PRId64 "us", sign, a / kMicrosecond);
+  } else {
+    std::snprintf(buf, sizeof buf, "%s%" PRId64 "ns", sign, a);
+  }
+  return buf;
+}
+
+}  // namespace grid::sim

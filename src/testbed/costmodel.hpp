@@ -1,0 +1,45 @@
+// Calibrated cost model for the simulated testbed.
+//
+// The defaults reproduce the measured constants of the paper's §4.2
+// environment (remote client 2 ms from a 64-node Origin 2000, fork-started
+// jobs):
+//
+//   GSI mutual authentication  ~0.50 s   (Figure 3 "authentication")
+//   initgroups via NIS         ~0.70 s   (Figure 3 "initgroups()")
+//   misc request processing     0.01 s   (Figure 3 "misc.")
+//   fork                        0.001 s / process (Figure 3 "fork()")
+//   executable load/exec        0.72 s   (closes the gap between Figure 3's
+//                                         component sum (~1.21 s) and
+//                                         Figure 2's end-to-end ~2 s)
+//
+// With these, a single GRAM submission lands at ~2 s regardless of process
+// count (Figure 2), the DUROC per-subjob serialized cost k is ~1.2 s, and
+// a 64-process 25-subjob DUROC request takes ~30 s (Figure 4's shape).
+#pragma once
+
+#include "gram/gatekeeper.hpp"
+#include "gsi/protocol.hpp"
+#include "simkit/time.hpp"
+
+namespace grid::testbed {
+
+struct CostModel {
+  /// One-way network latency between any two nodes (paper: ~2 ms).
+  sim::Time network_latency = 2 * sim::kMillisecond;
+  /// GSI handshake CPU costs (sums to ~0.47 s + 2 RTT ~= 0.5 s).
+  gsi::CostModel gsi{};
+  /// NIS lookup service time (initgroups ~= this + 1 RTT ~= 0.7 s).
+  sim::Time nis_service = 680 * sim::kMillisecond;
+  /// Gatekeeper misc processing + executable startup.
+  gram::GatekeeperCosts gatekeeper{};
+  /// Fork scheduler: per-process process-creation cost.
+  sim::Time fork_cost_per_process = 1 * sim::kMillisecond;
+
+  /// The calibrated paper configuration (same as the defaults).
+  static CostModel paper() { return CostModel{}; }
+
+  /// A fast configuration for unit tests that don't measure time shapes.
+  static CostModel fast();
+};
+
+}  // namespace grid::testbed

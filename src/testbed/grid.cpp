@@ -1,0 +1,147 @@
+#include "testbed/grid.hpp"
+
+namespace grid::testbed {
+
+CostModel CostModel::fast() {
+  CostModel m;
+  m.network_latency = 1 * sim::kMillisecond;
+  m.gsi.client_sign = 1 * sim::kMillisecond;
+  m.gsi.server_verify = 1 * sim::kMillisecond;
+  m.gsi.client_verify = 1 * sim::kMillisecond;
+  m.gsi.server_issue = 1 * sim::kMillisecond;
+  m.nis_service = 1 * sim::kMillisecond;
+  m.gatekeeper.misc_processing = 1 * sim::kMillisecond;
+  m.gatekeeper.exec_startup = 1 * sim::kMillisecond;
+  m.fork_cost_per_process = 10 * sim::kMicrosecond;
+  return m;
+}
+
+Host::Host(Grid& grid, const HostSpec& spec) : grid_(&grid), spec_(spec) {
+  switch (spec_.scheduler) {
+    case SchedulerKind::kFork:
+      scheduler_ = std::make_unique<sched::ForkScheduler>(
+          grid_->engine(), grid_->costs().fork_cost_per_process,
+          spec_.processors);
+      break;
+    case SchedulerKind::kFcfs:
+      scheduler_ = std::make_unique<sched::BatchScheduler>(
+          grid_->engine(), spec_.processors, sched::Backfill::kNone);
+      break;
+    case SchedulerKind::kBackfill:
+      scheduler_ = std::make_unique<sched::BatchScheduler>(
+          grid_->engine(), spec_.processors, sched::Backfill::kEasy);
+      break;
+    case SchedulerKind::kReservation:
+      scheduler_ = std::make_unique<sched::ReservationScheduler>(
+          grid_->engine(), spec_.processors);
+      break;
+  }
+  gatekeeper_ = std::make_unique<gram::Gatekeeper>(
+      grid_->network(), spec_.name, *scheduler_, grid_->executables(),
+      grid_->ca(), grid_->gridmap(),
+      grid_->ca().issue("/O=Grid/CN=host/" + spec_.name,
+                        sim::kTimeNever / 2),
+      grid_->nis().id(), grid_->costs().gsi, grid_->costs().gatekeeper);
+}
+
+sched::BatchScheduler* Host::batch_scheduler() {
+  return dynamic_cast<sched::BatchScheduler*>(scheduler_.get());
+}
+
+sched::ReservationScheduler* Host::reservation_scheduler() {
+  return dynamic_cast<sched::ReservationScheduler*>(scheduler_.get());
+}
+
+void Host::crash() {
+  grid_->network().set_node_up(gatekeeper_->contact(), false);
+}
+
+void Host::restore() {
+  grid_->network().set_node_up(gatekeeper_->contact(), true);
+  gatekeeper_->endpoint().restart();
+}
+
+bool Host::is_up() const {
+  return grid_->network().is_up(gatekeeper_->contact());
+}
+
+Grid::Grid(CostModel costs, std::uint64_t seed)
+    : costs_(costs),
+      ca_("/O=Grid/CN=TestbedCA", seed ^ 0xca5eedULL) {
+  network_ = std::make_unique<net::Network>(engine_);
+  network_->set_latency_model(
+      std::make_unique<net::FixedLatency>(costs_.network_latency));
+  nis_ = std::make_unique<gram::NisServer>(*network_, costs_.nis_service);
+}
+
+Grid::~Grid() = default;
+
+Host& Grid::add_host(const HostSpec& spec) {
+  auto host = std::make_unique<Host>(*this, spec);
+  Host& ref = *host;
+  by_name_[spec.name] = host.get();
+  hosts_.push_back(std::move(host));
+  return ref;
+}
+
+Host& Grid::add_host(const std::string& name, std::int32_t processors,
+                     SchedulerKind scheduler) {
+  return add_host(HostSpec{name, processors, scheduler});
+}
+
+Host* Grid::host(const std::string& name) {
+  auto it = by_name_.find(name);
+  return it == by_name_.end() ? nullptr : it->second;
+}
+
+core::ContactResolver Grid::resolver() {
+  return [this](const std::string& contact) -> util::Result<net::NodeId> {
+    Host* h = host(contact);
+    if (h == nullptr) {
+      return util::Status(util::ErrorCode::kNotFound,
+                          "unknown resource manager contact '" + contact +
+                              "'");
+    }
+    return h->contact();
+  };
+}
+
+gsi::Credential Grid::make_user(const std::string& subject,
+                                const std::string& local_user) {
+  gridmap_.add(subject, local_user);
+  nis_->add_user(local_user, {"grid", "research"});
+  return ca_.issue(subject, sim::kTimeNever / 2);
+}
+
+std::unique_ptr<core::Coallocator> Grid::make_coallocator(
+    const std::string& name, const std::string& subject,
+    core::RequestConfig defaults) {
+  auto coallocator = std::make_unique<core::Coallocator>(
+      *network_, name, ca_, make_user(subject, "user-" + name), costs_.gsi,
+      defaults);
+  coallocator->set_contact_resolver(resolver());
+  return coallocator;
+}
+
+std::string rsl_subjob(const std::string& contact, std::int32_t count,
+                       const std::string& executable,
+                       const std::string& start_type,
+                       const std::string& label) {
+  std::string s = "(&(resourceManagerContact=\"" + contact + "\")" +
+                  "(count=" + std::to_string(count) + ")" +
+                  "(executable=\"" + executable + "\")" +
+                  "(subjobStartType=" + start_type + ")";
+  if (!label.empty()) {
+    s += "(label=\"" + label + "\")";
+  }
+  s += ")";
+  return s;
+}
+
+std::string rsl_multi(const std::vector<std::string>& subjobs) {
+  std::string s = "+";
+  for (const std::string& sub : subjobs) s += sub;
+  return s;
+}
+
+}  // namespace grid::testbed

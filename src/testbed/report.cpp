@@ -1,0 +1,88 @@
+#include "testbed/report.hpp"
+
+#include <cctype>
+#include <cstdio>
+
+namespace grid::testbed {
+namespace {
+
+bool looks_numeric(const std::string& s) {
+  if (s.empty()) return false;
+  for (char c : s) {
+    if (std::isdigit(static_cast<unsigned char>(c)) == 0 && c != '.' &&
+        c != '-' && c != '+' && c != 'e' && c != '%' && c != 'x') {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void Table::add_row(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::num(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, v);
+  return buf;
+}
+
+std::string Table::num(std::int64_t v) { return std::to_string(v); }
+
+std::string Table::render() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+    for (const auto& row : rows_) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto pad = [](const std::string& s, std::size_t w, bool right) {
+    std::string out;
+    if (right) out.append(w - s.size(), ' ');
+    out += s;
+    if (!right) out.append(w - s.size(), ' ');
+    return out;
+  };
+  std::string out;
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    if (c != 0) out += "  ";
+    out += pad(headers_[c], widths[c], false);
+  }
+  out += '\n';
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    if (c != 0) out += "  ";
+    out.append(widths[c], '-');
+  }
+  out += '\n';
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      if (c != 0) out += "  ";
+      out += pad(row[c], widths[c], looks_numeric(row[c]));
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+void print_heading(const std::string& title) {
+  std::printf("\n== %s ==\n", title.c_str());
+}
+
+void print_table(const Table& table) {
+  std::fputs(table.render().c_str(), stdout);
+}
+
+void print_metric(const std::string& name, double value,
+                  const std::string& unit) {
+  std::printf("  %s = %.4f%s%s\n", name.c_str(), value,
+              unit.empty() ? "" : " ", unit.c_str());
+}
+
+}  // namespace grid::testbed

@@ -1,0 +1,42 @@
+// Fixed-width table reporting for the benchmark harnesses.
+//
+// Every bench prints the same rows/series the paper's tables and figures
+// report; this formatter keeps that output uniform and diff-friendly.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace grid::testbed {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Adds a row; cells beyond the header count are dropped, missing cells
+  /// render empty.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience for numeric rows.
+  static std::string num(double v, int precision = 3);
+  static std::string num(std::int64_t v);
+
+  /// Renders with a header rule and right-aligned numeric-looking cells.
+  std::string render() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Prints a section heading ("== Figure 4: ... ==").
+void print_heading(const std::string& title);
+
+/// Prints a table to stdout.
+void print_table(const Table& table);
+
+/// Prints a labelled key/value line ("  slope_s_per_subjob = 1.19").
+void print_metric(const std::string& name, double value,
+                  const std::string& unit = "");
+
+}  // namespace grid::testbed

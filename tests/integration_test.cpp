@@ -1,0 +1,354 @@
+// Integration tests: full-paper scenarios across all modules.
+//
+//  * the Figure 1 master/worker request with interactive workers;
+//  * the §2 scenario: a crashed machine replaced dynamically, then a slow
+//    machine dropped, with the computation proceeding at reduced fidelity;
+//  * the §4.3 scale experiment: 13 machines, 1386 processes, failures
+//    configured around;
+//  * forecast-guided resource selection (§2.2);
+//  * co-reservation across contended batch machines (§2.2 / §5).
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "app/failure.hpp"
+#include "core/strategies.hpp"
+#include "sched/infoservice.hpp"
+#include "sched/predict.hpp"
+#include "test_util.hpp"
+
+namespace grid {
+namespace {
+
+using core::RequestState;
+using core::SubjobState;
+using rsl::SubjobStartType;
+using test::Outcome;
+
+TEST(Integration, Figure1MasterWorker) {
+  // "+(&(resourceManagerContact=RM1)(count=1)(executable=master)
+  //    (subjobStartType=required))
+  //   (&(resourceManagerContact=RM2)(count=4)(executable=worker)
+  //    (subjobStartType=interactive)) ..."
+  testbed::Grid grid(testbed::CostModel::fast());
+  app::BarrierStats stats;
+  for (int i = 1; i <= 5; ++i) grid.add_host("RM" + std::to_string(i), 64);
+  app::install_app(grid.executables(), "master", {}, &stats);
+  app::install_app(grid.executables(), "worker", {}, &stats);
+  // RM4's worker pool is broken (application check fails there).
+  app::install_app(grid.executables(), "broken-worker",
+                   {.mode = app::FailureMode::kFailedCheck}, &stats);
+  auto coallocator = grid.make_coallocator("agent", "/CN=mw");
+  std::vector<std::string> subs = {
+      testbed::rsl_subjob("RM1", 1, "master", "required"),
+      testbed::rsl_subjob("RM2", 4, "worker", "interactive"),
+      testbed::rsl_subjob("RM3", 4, "worker", "interactive"),
+      testbed::rsl_subjob("RM4", 4, "broken-worker", "interactive"),
+      testbed::rsl_subjob("RM5", 4, "worker", "interactive"),
+  };
+  Outcome outcome;
+  // Enough workers = 8; the agent commits once it has them and drops the
+  // rest (exactly the Figure 1 narrative).
+  core::MinimumCountAgent agent(
+      *coallocator,
+      {.minimum_processes = 9, .decision_deadline = 10 * sim::kMinute},
+      outcome.callbacks());
+  ASSERT_TRUE(agent.request().add_rsl(testbed::rsl_multi(subs)).is_ok());
+  agent.request().start();
+  grid.run();
+  ASSERT_TRUE(outcome.released);
+  // Master plus at least two healthy worker subjobs; the broken RM4 pool
+  // is not in the final configuration.
+  EXPECT_GE(outcome.config.total_processes, 9);
+  for (const auto& layout : outcome.config.subjobs) {
+    EXPECT_NE(layout.contact, "RM4");
+  }
+  EXPECT_TRUE(outcome.status.is_ok());
+}
+
+TEST(Integration, Section2ScenarioReplaceThenDrop) {
+  // A 400-processor simulation on five machines.  One machine is down and
+  // is replaced dynamically; later another is too slow and is dropped,
+  // proceeding with 4/5 of the fidelity.
+  testbed::Grid grid(testbed::CostModel::fast());
+  app::BarrierStats stats;
+  for (int i = 1; i <= 6; ++i) grid.add_host("site" + std::to_string(i), 128);
+  app::install_app(grid.executables(), "sim", {}, &stats);
+  app::install_app(grid.executables(), "sim-slow",
+                   {.init_delay = 30 * sim::kMinute}, &stats);
+  grid.host("site3")->crash();  // down before the request arrives
+
+  auto coallocator = grid.make_coallocator("agent", "/CN=sc2");
+  core::RequestConfig config;
+  config.rpc_timeout = 5 * sim::kSecond;
+  config.startup_timeout = 5 * sim::kMinute;
+
+  Outcome outcome;
+  core::CoallocationRequest* req = nullptr;
+  int replacements = 0;
+  core::RequestCallbacks cbs = outcome.callbacks();
+  cbs.on_subjob = [&](core::SubjobHandle h, SubjobState s,
+                      const util::Status&) {
+    if (s != SubjobState::kFailed ||
+        req->state() != RequestState::kEditing) {
+      return;
+    }
+    auto view = req->subjob(h);
+    if (!view.is_ok()) return;
+    if (view.value().contact == "site3" && replacements == 0) {
+      // Failure #1: machine down.  Replace it with the dynamically
+      // located spare (site6).
+      ++replacements;
+      auto original = req->subjob_request(h);
+      ASSERT_TRUE(original.is_ok());
+      rsl::JobRequest r = original.take();
+      r.resource_manager_contact = "site6";
+      ASSERT_TRUE(req->substitute_subjob(h, std::move(r)).is_ok());
+    }
+    // Failure #2 (the slow site5, which times out): drop it and proceed
+    // with four machines — handled by simply leaving it failed.
+  };
+  req = coallocator->create_request(cbs, config);
+  req->add_subjob([&] {
+    rsl::JobRequest j;
+    j.resource_manager_contact = "site1";
+    j.executable = "sim";
+    j.count = 80;
+    j.start_type = SubjobStartType::kRequired;
+    return j;
+  }());
+  for (const auto& [site, exe] :
+       std::vector<std::pair<std::string, std::string>>{
+           {"site2", "sim"}, {"site3", "sim"}, {"site4", "sim"},
+           {"site5", "sim-slow"}}) {
+    rsl::JobRequest j;
+    j.resource_manager_contact = site;
+    j.executable = exe;
+    j.count = 80;
+    j.start_type = SubjobStartType::kInteractive;
+    req->add_subjob(std::move(j));
+  }
+  req->start();
+  grid.run_until(20 * sim::kMinute);
+  ASSERT_EQ(replacements, 1);
+  // After the replacement checked in and the slow site timed out, the
+  // agent commits with what it has: 4 x 80 = 320 processors at reduced
+  // fidelity (site5 dropped).
+  ASSERT_EQ(req->state(), RequestState::kEditing);
+  ASSERT_TRUE(req->commit().is_ok());
+  grid.run();
+  ASSERT_TRUE(outcome.released);
+  EXPECT_EQ(outcome.config.total_processes, 320);
+  bool has_site6 = false;
+  for (const auto& layout : outcome.config.subjobs) {
+    EXPECT_NE(layout.contact, "site3");
+    EXPECT_NE(layout.contact, "site5");
+    if (layout.contact == "site6") has_site6 = true;
+  }
+  EXPECT_TRUE(has_site6);
+}
+
+TEST(Integration, SfExpressScaleRun) {
+  // §4.3: "starting a computation on 1386 processors distributed across 13
+  // different parallel supercomputers ... there were difficulties starting
+  // some components ... DUROC was successfully used to configure around
+  // these failures."
+  testbed::Grid grid(testbed::CostModel::fast());
+  app::BarrierStats stats;
+  std::vector<std::int32_t> sizes = {128, 128, 128, 128, 108, 108, 108,
+                                     108, 108, 108, 104, 61, 61};
+  ASSERT_EQ(std::accumulate(sizes.begin(), sizes.end(), 0), 1386);
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    grid.add_host("super" + std::to_string(i + 1), 256);
+  }
+  grid.add_host("spare", 256);
+  app::install_app(grid.executables(), "sf", {}, &stats);
+  app::install_app(grid.executables(), "sf-broken",
+                   {.mode = app::FailureMode::kCrashBeforeBarrier}, &stats);
+
+  auto coallocator = grid.make_coallocator("agent", "/CN=sf");
+  Outcome outcome;
+  // super7 has an application failure; the replacement agent substitutes
+  // the spare machine (running the healthy binary there).
+  core::CoallocationRequest* req = nullptr;
+  core::RequestCallbacks cbs = outcome.callbacks();
+  bool repaired = false;
+  cbs.on_subjob = [&](core::SubjobHandle h, SubjobState s,
+                      const util::Status&) {
+    if (s == SubjobState::kFailed && !repaired &&
+        req->state() == RequestState::kEditing) {
+      auto view = req->subjob(h);
+      if (view.is_ok() && view.value().contact == "super7") {
+        repaired = true;
+        auto original = req->subjob_request(h);
+        rsl::JobRequest r = original.take();
+        r.resource_manager_contact = "spare";
+        r.executable = "sf";
+        req->substitute_subjob(h, std::move(r));
+      }
+    }
+  };
+  core::RequestConfig config;
+  config.startup_timeout = 10 * sim::kMinute;
+  req = coallocator->create_request(cbs, config);
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    rsl::JobRequest j;
+    j.resource_manager_contact = "super" + std::to_string(i + 1);
+    j.executable = (i + 1 == 7) ? "sf-broken" : "sf";
+    j.count = sizes[i];
+    j.start_type = SubjobStartType::kInteractive;
+    req->add_subjob(std::move(j));
+  }
+  req->start();
+  grid.run_until(10 * sim::kMinute);
+  ASSERT_TRUE(repaired);
+  ASSERT_TRUE(req->commit().is_ok());
+  grid.run();
+  ASSERT_TRUE(outcome.released);
+  EXPECT_EQ(outcome.config.total_processes, 1386);
+  EXPECT_EQ(outcome.config.subjobs.size(), 13u);
+  EXPECT_EQ(stats.releases, 1386);
+}
+
+TEST(Integration, ForecastGuidedSelectionAvoidsBusyMachine) {
+  // §2.2: "the co-allocator may use information published by local
+  // managers to select from among alternative candidate resources".
+  testbed::Grid grid(testbed::CostModel::fast());
+  app::BarrierStats stats;
+  grid.add_host("busy", 32, testbed::SchedulerKind::kFcfs);
+  grid.add_host("idle", 32, testbed::SchedulerKind::kFcfs);
+  app::install_app(grid.executables(), "app", {}, &stats);
+  // Pre-load the busy machine with an hour of work.
+  sched::JobDescriptor bg;
+  bg.id = 0xb6;
+  bg.count = 32;
+  bg.runtime = sim::kHour;
+  bg.estimated_runtime = sim::kHour;
+  grid.host("busy")->scheduler().submit(bg, nullptr, nullptr);
+
+  sched::LoadInformationService gis(grid.engine(), 10 * sim::kSecond);
+  gis.register_resource("busy", &grid.host("busy")->scheduler());
+  gis.register_resource("idle", &grid.host("idle")->scheduler());
+  gis.publish_now();
+  sched::AggregateWorkPredictor predictor;
+
+  // Broker: pick the candidate with the smaller predicted wait.
+  std::string best;
+  sim::Time best_wait = sim::kTimeNever;
+  for (const std::string& cand : {std::string("busy"), std::string("idle")}) {
+    auto snap = gis.query(cand);
+    ASSERT_TRUE(snap.is_ok());
+    const sim::Time w = predictor.predict(snap.value(), 16);
+    if (w < best_wait) {
+      best_wait = w;
+      best = cand;
+    }
+  }
+  EXPECT_EQ(best, "idle");
+
+  auto coallocator = grid.make_coallocator("agent", "/CN=fc");
+  Outcome outcome;
+  auto* req = coallocator->create_request(outcome.callbacks());
+  req->add_rsl(testbed::rsl_multi(
+      {testbed::rsl_subjob(best, 16, "app", "required")}));
+  req->commit();
+  grid.run_until(sim::kMinute);
+  EXPECT_TRUE(outcome.released);  // would still queue behind the hour on "busy"
+}
+
+TEST(Integration, CoReservationGuaranteesSimultaneousStart) {
+  // §5: co-reservation — obtain windows on two contended machines, then
+  // co-allocate into them; both subjobs start exactly at the window.
+  testbed::Grid grid(testbed::CostModel::fast());
+  app::BarrierStats stats;
+  grid.add_host("resA", 32, testbed::SchedulerKind::kReservation);
+  grid.add_host("resB", 32, testbed::SchedulerKind::kReservation);
+  app::install_app(grid.executables(), "app", {}, &stats);
+  auto* schedA = grid.host("resA")->reservation_scheduler();
+  auto* schedB = grid.host("resB")->reservation_scheduler();
+  ASSERT_NE(schedA, nullptr);
+  ASSERT_NE(schedB, nullptr);
+
+  // Background load would otherwise occupy both machines.
+  for (int i = 0; i < 4; ++i) {
+    sched::JobDescriptor bg;
+    bg.id = static_cast<sched::JobId>(0x100 + i);
+    bg.count = 32;
+    bg.runtime = 30 * sim::kMinute;
+    bg.estimated_runtime = 30 * sim::kMinute;
+    (i % 2 == 0 ? schedA : schedB)->submit(bg, nullptr, nullptr);
+  }
+  // Co-reservation: a window on each machine at t = 2h.
+  const sim::Time start = 2 * sim::kHour;
+  const sim::Time end = start + sim::kHour;
+  auto ra = schedA->reserve(start, end, 16);
+  auto rb = schedB->reserve(start, end, 16);
+  ASSERT_TRUE(ra.is_ok());
+  ASSERT_TRUE(rb.is_ok());
+
+  // Submit the co-allocated pieces into the reserved windows.
+  std::vector<sim::Time> starts;
+  for (auto& [sched, res] :
+       std::vector<std::pair<sched::ReservationScheduler*, sched::Reservation>>{
+           {schedA, ra.value()}, {schedB, rb.value()}}) {
+    sched::JobDescriptor d;
+    d.id = res.id + 0x8000;
+    d.count = 16;
+    d.runtime = 20 * sim::kMinute;
+    ASSERT_TRUE(sched
+                    ->submit_reserved(d, res.id,
+                                      [&](sched::JobId) {
+                                        starts.push_back(grid.engine().now());
+                                      },
+                                      nullptr)
+                    .is_ok());
+  }
+  grid.run();
+  ASSERT_EQ(starts.size(), 2u);
+  EXPECT_EQ(starts[0], start);
+  EXPECT_EQ(starts[1], start);  // simultaneous, guaranteed
+}
+
+TEST(Integration, TwoConcurrentRequestsShareOneCoallocator) {
+  test::SmallGrid g(4);
+  Outcome a, b;
+  auto* ra = g.coallocator->create_request(a.callbacks());
+  auto* rb = g.coallocator->create_request(b.callbacks());
+  ra->add_rsl(testbed::rsl_multi({testbed::rsl_subjob("host1", 4, "app"),
+                                  testbed::rsl_subjob("host2", 4, "app")}));
+  rb->add_rsl(testbed::rsl_multi({testbed::rsl_subjob("host3", 4, "app"),
+                                  testbed::rsl_subjob("host4", 4, "app")}));
+  ra->commit();
+  rb->commit();
+  g.grid->run();
+  EXPECT_TRUE(a.released);
+  EXPECT_TRUE(b.released);
+  EXPECT_TRUE(a.status.is_ok());
+  EXPECT_TRUE(b.status.is_ok());
+  EXPECT_EQ(g.stats.releases, 16);
+}
+
+TEST(Integration, MessageLossDelaysButDoesNotBreakAllocation) {
+  test::SmallGrid g(2);
+  g.grid->network().set_drop_probability(0.0);
+  core::RequestConfig config;
+  config.rpc_timeout = 5 * sim::kSecond;
+  config.startup_timeout = 10 * sim::kMinute;
+  Outcome outcome;
+  auto* req = g.coallocator->create_request(outcome.callbacks(), config);
+  req->add_rsl(g.rsl(4, "required"));
+  // A lossy window during submission: RPCs time out; DUROC treats the
+  // affected subjob as failed (required -> abort).  This documents that
+  // transport loss surfaces as subjob failure, not a hang.
+  app::FailureInjector chaos(g.grid->network());
+  chaos.lossy_window(1.0, sim::kMillisecond, 20 * sim::kSecond);
+  req->commit();
+  g.grid->run();
+  EXPECT_TRUE(outcome.terminal);
+  EXPECT_FALSE(outcome.released);
+  EXPECT_EQ(outcome.status.code(), util::ErrorCode::kAborted);
+  EXPECT_LT(g.grid->engine().now(), sim::kHour);
+}
+
+}  // namespace
+}  // namespace grid

@@ -1,0 +1,311 @@
+// Unit tests for the network simulation and the RPC layer.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "net/network.hpp"
+#include "net/rpc.hpp"
+
+namespace grid {
+namespace {
+
+/// A node that records everything delivered to it.
+class Recorder : public net::Node {
+ public:
+  void handle_message(const net::Message& msg) override {
+    messages.push_back(msg);
+  }
+  void on_crash() override { ++crashes; }
+
+  std::vector<net::Message> messages;
+  int crashes = 0;
+};
+
+struct NetFixture : ::testing::Test {
+  sim::Engine engine;
+  net::Network network{engine};
+  Recorder a, b;
+  net::NodeId na = network.attach(&a, "a");
+  net::NodeId nb = network.attach(&b, "b");
+};
+
+TEST_F(NetFixture, DeliversWithLatency) {
+  network.set_latency_model(
+      std::make_unique<net::FixedLatency>(5 * sim::kMillisecond));
+  network.send(na, nb, 7, {1, 2, 3});
+  engine.run();
+  ASSERT_EQ(b.messages.size(), 1u);
+  EXPECT_EQ(engine.now(), 5 * sim::kMillisecond);
+  EXPECT_EQ(b.messages[0].kind, 7u);
+  EXPECT_EQ(b.messages[0].src, na);
+  EXPECT_EQ(b.messages[0].payload, (util::Bytes{1, 2, 3}));
+}
+
+TEST_F(NetFixture, PreservesFifoPerPair) {
+  for (std::uint32_t i = 0; i < 10; ++i) network.send(na, nb, i, {});
+  engine.run();
+  ASSERT_EQ(b.messages.size(), 10u);
+  for (std::uint32_t i = 0; i < 10; ++i) EXPECT_EQ(b.messages[i].kind, i);
+}
+
+TEST_F(NetFixture, SendFromUnknownNodeFails) {
+  EXPECT_FALSE(network.send(9999, nb, 1, {}).is_ok());
+}
+
+TEST_F(NetFixture, SendToUnknownNodeIsSilentlyDropped) {
+  EXPECT_TRUE(network.send(na, 9999, 1, {}).is_ok());
+  engine.run();
+  EXPECT_EQ(network.stats().dropped_down, 1u);
+}
+
+TEST_F(NetFixture, CrashedDestinationDropsInFlight) {
+  network.send(na, nb, 1, {});
+  network.set_node_up(nb, false);
+  engine.run();
+  EXPECT_TRUE(b.messages.empty());
+  EXPECT_EQ(b.crashes, 1);
+  EXPECT_EQ(network.stats().dropped_down, 1u);
+}
+
+TEST_F(NetFixture, CrashedSourceCannotTransmit) {
+  network.set_node_up(na, false);
+  network.send(na, nb, 1, {});
+  engine.run();
+  EXPECT_TRUE(b.messages.empty());
+}
+
+TEST_F(NetFixture, RestoredNodeReceivesAgain) {
+  network.set_node_up(nb, false);
+  network.set_node_up(nb, true);
+  network.send(na, nb, 1, {});
+  engine.run();
+  EXPECT_EQ(b.messages.size(), 1u);
+}
+
+TEST_F(NetFixture, PartitionBlocksBothDirections) {
+  network.set_partitioned(na, nb, true);
+  network.send(na, nb, 1, {});
+  network.send(nb, na, 2, {});
+  engine.run();
+  EXPECT_TRUE(a.messages.empty());
+  EXPECT_TRUE(b.messages.empty());
+  EXPECT_EQ(network.stats().dropped_partition, 2u);
+  network.set_partitioned(na, nb, false);
+  network.send(na, nb, 3, {});
+  engine.run();
+  EXPECT_EQ(b.messages.size(), 1u);
+}
+
+TEST_F(NetFixture, PartitionInjectedMidFlightSwallowsMessage) {
+  network.send(na, nb, 1, {});
+  network.set_partitioned(na, nb, true);  // before delivery event fires
+  engine.run();
+  EXPECT_TRUE(b.messages.empty());
+}
+
+TEST_F(NetFixture, RandomLossDropsApproximatelyP) {
+  network.set_drop_probability(0.5);
+  for (int i = 0; i < 2000; ++i) network.send(na, nb, 1, {});
+  engine.run();
+  EXPECT_NEAR(static_cast<double>(b.messages.size()), 1000.0, 120.0);
+  EXPECT_EQ(network.stats().dropped_random + b.messages.size(), 2000u);
+}
+
+TEST_F(NetFixture, StatsCountBytes) {
+  network.send(na, nb, 1, {0, 0, 0, 0});
+  engine.run();
+  EXPECT_EQ(network.stats().sent, 1u);
+  EXPECT_EQ(network.stats().delivered, 1u);
+  EXPECT_EQ(network.stats().bytes_sent, 4u);
+}
+
+TEST_F(NetFixture, NamesAreRetrievable) {
+  EXPECT_EQ(network.name(na), "a");
+  EXPECT_EQ(network.name(12345), "<unknown>");
+}
+
+TEST(LatencyModels, MatrixUsesPairsAndDefault) {
+  net::MatrixLatency m(10);
+  m.set_pair(1, 2, 99);
+  EXPECT_EQ(m.latency(1, 2, 0), 99);
+  EXPECT_EQ(m.latency(2, 1, 0), 99);  // symmetric
+  EXPECT_EQ(m.latency(1, 3, 0), 10);
+}
+
+TEST(LatencyModels, BandwidthAddsSerialization) {
+  net::BandwidthLatency bw(sim::kMillisecond, 1000.0);  // 1000 B/s
+  EXPECT_EQ(bw.latency(1, 2, 0), sim::kMillisecond);
+  EXPECT_EQ(bw.latency(1, 2, 1000), sim::kMillisecond + sim::kSecond);
+}
+
+TEST(LatencyModels, JitterStaysInBand) {
+  net::JitterLatency j(10 * sim::kMillisecond, 5 * sim::kMillisecond,
+                       sim::Rng(1));
+  for (int i = 0; i < 100; ++i) {
+    const sim::Time t = j.latency(1, 2, 0);
+    EXPECT_GE(t, 10 * sim::kMillisecond);
+    EXPECT_LE(t, 15 * sim::kMillisecond);
+  }
+}
+
+// ---- rpc ------------------------------------------------------------------------
+
+struct RpcFixture : ::testing::Test {
+  sim::Engine engine;
+  net::Network network{engine};
+  net::Endpoint client{network, "client"};
+  net::Endpoint server{network, "server"};
+};
+
+TEST_F(RpcFixture, CallAndRespond) {
+  server.register_method(
+      42, [&](net::NodeId caller, std::uint64_t id, util::Reader& args) {
+        const auto x = args.u32();
+        util::Writer w;
+        w.u32(x * 2);
+        server.respond(caller, id, w.take());
+      });
+  std::uint32_t got = 0;
+  util::Writer w;
+  w.u32(21);
+  client.call(server.id(), 42, w.take(), 0,
+              [&](const util::Status& status, util::Reader& reply) {
+                ASSERT_TRUE(status.is_ok());
+                got = reply.u32();
+              });
+  engine.run();
+  EXPECT_EQ(got, 42u);
+}
+
+TEST_F(RpcFixture, ErrorResponsePropagates) {
+  server.register_method(
+      1, [&](net::NodeId caller, std::uint64_t id, util::Reader&) {
+        server.respond_error(caller, id, util::ErrorCode::kPermissionDenied,
+                             "nope");
+      });
+  util::Status got;
+  client.call(server.id(), 1, {}, 0,
+              [&](const util::Status& status, util::Reader&) { got = status; });
+  engine.run();
+  EXPECT_EQ(got.code(), util::ErrorCode::kPermissionDenied);
+  EXPECT_EQ(got.message(), "nope");
+}
+
+TEST_F(RpcFixture, UnknownMethodReturnsNotFound) {
+  util::Status got;
+  client.call(server.id(), 777, {}, 0,
+              [&](const util::Status& status, util::Reader&) { got = status; });
+  engine.run();
+  EXPECT_EQ(got.code(), util::ErrorCode::kNotFound);
+}
+
+TEST_F(RpcFixture, TimeoutFiresWhenServerSilent) {
+  server.register_method(1, [](net::NodeId, std::uint64_t, util::Reader&) {
+    // never responds
+  });
+  util::Status got;
+  client.call(server.id(), 1, {}, sim::kSecond,
+              [&](const util::Status& status, util::Reader&) { got = status; });
+  engine.run();
+  EXPECT_EQ(got.code(), util::ErrorCode::kTimeout);
+  EXPECT_EQ(engine.now(), sim::kSecond);
+  EXPECT_EQ(client.pending_calls(), 0u);
+}
+
+TEST_F(RpcFixture, TimeoutFiresWhenServerCrashed) {
+  network.set_node_up(server.id(), false);
+  util::Status got;
+  client.call(server.id(), 1, {}, sim::kSecond,
+              [&](const util::Status& status, util::Reader&) { got = status; });
+  engine.run();
+  EXPECT_EQ(got.code(), util::ErrorCode::kTimeout);
+}
+
+TEST_F(RpcFixture, LateResponseAfterTimeoutIsIgnored) {
+  server.register_method(
+      1, [&](net::NodeId caller, std::uint64_t id, util::Reader&) {
+        engine.schedule_after(2 * sim::kSecond,
+                              [&, caller, id] { server.respond(caller, id, {}); });
+      });
+  int calls = 0;
+  client.call(server.id(), 1, {}, sim::kSecond,
+              [&](const util::Status&, util::Reader&) { ++calls; });
+  engine.run();
+  EXPECT_EQ(calls, 1);  // only the timeout fires
+}
+
+TEST_F(RpcFixture, CancelPreventsCallback) {
+  server.register_method(
+      1, [&](net::NodeId caller, std::uint64_t id, util::Reader&) {
+        server.respond(caller, id, {});
+      });
+  int calls = 0;
+  const auto id = client.call(
+      server.id(), 1, {}, 0,
+      [&](const util::Status&, util::Reader&) { ++calls; });
+  EXPECT_TRUE(client.cancel_call(id));
+  EXPECT_FALSE(client.cancel_call(id));
+  engine.run();
+  EXPECT_EQ(calls, 0);
+}
+
+TEST_F(RpcFixture, NotifyDispatchesByKind) {
+  int hits = 0;
+  server.register_notify(9, [&](net::NodeId src, util::Reader& payload) {
+    EXPECT_EQ(src, client.id());
+    EXPECT_EQ(payload.u32(), 123u);
+    ++hits;
+  });
+  util::Writer w;
+  w.u32(123);
+  client.notify(server.id(), 9, w.take());
+  client.notify(server.id(), 10, {});  // unregistered kind: dropped
+  engine.run();
+  EXPECT_EQ(hits, 1);
+}
+
+TEST_F(RpcFixture, CrashDropsPendingCallsSilently) {
+  server.register_method(1, [](net::NodeId, std::uint64_t, util::Reader&) {});
+  int calls = 0;
+  client.call(server.id(), 1, {}, 10 * sim::kSecond,
+              [&](const util::Status&, util::Reader&) { ++calls; });
+  bool hook = false;
+  client.crash_hook = [&] { hook = true; };
+  network.set_node_up(client.id(), false);
+  engine.run();
+  EXPECT_EQ(calls, 0);  // a dead client gets no callbacks
+  EXPECT_TRUE(hook);
+  EXPECT_EQ(client.pending_calls(), 0u);
+}
+
+TEST_F(RpcFixture, ConcurrentCallsMatchResponses) {
+  server.register_method(
+      5, [&](net::NodeId caller, std::uint64_t id, util::Reader& args) {
+        const auto v = args.u32();
+        util::Writer w;
+        w.u32(v);
+        // Respond out of order: delay even values.
+        const sim::Time delay =
+            (v % 2 == 0) ? 100 * sim::kMillisecond : sim::kMillisecond;
+        engine.schedule_after(delay, [&, caller, id, bytes = w.take()] {
+          server.respond(caller, id, bytes);
+        });
+      });
+  std::vector<std::uint32_t> got;
+  for (std::uint32_t i = 0; i < 6; ++i) {
+    util::Writer w;
+    w.u32(i);
+    client.call(server.id(), 5, w.take(), 0,
+                [&](const util::Status& status, util::Reader& reply) {
+                  ASSERT_TRUE(status.is_ok());
+                  got.push_back(reply.u32());
+                });
+  }
+  engine.run();
+  ASSERT_EQ(got.size(), 6u);
+  // Odd values return first, but each response matched its own call.
+  EXPECT_EQ(got, (std::vector<std::uint32_t>{1, 3, 5, 0, 2, 4}));
+}
+
+}  // namespace
+}  // namespace grid

@@ -1,0 +1,564 @@
+// Unit tests for the local schedulers (fork, FCFS, EASY backfill,
+// reservations), the queue-wait predictors, and the information service.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sched/batch.hpp"
+#include "sched/fork.hpp"
+#include "sched/infoservice.hpp"
+#include "sched/predict.hpp"
+#include "sched/reservation.hpp"
+#include "simkit/rng.hpp"
+
+namespace grid::sched {
+namespace {
+
+JobDescriptor job(JobId id, std::int32_t count, sim::Time runtime = 0,
+                  sim::Time estimate = 0) {
+  JobDescriptor d;
+  d.id = id;
+  d.count = count;
+  d.runtime = runtime;
+  d.estimated_runtime = estimate;
+  return d;
+}
+
+struct Events {
+  std::vector<JobId> started;
+  std::vector<std::pair<JobId, EndReason>> ended;
+
+  LocalScheduler::StartFn on_start() {
+    return [this](JobId id) { started.push_back(id); };
+  }
+  LocalScheduler::EndFn on_end() {
+    return [this](JobId id, EndReason r) { ended.emplace_back(id, r); };
+  }
+};
+
+// ---- fork -----------------------------------------------------------------
+
+TEST(ForkScheduler, StartsAfterPerProcessCost) {
+  sim::Engine e;
+  ForkScheduler s(e, sim::kMillisecond);
+  Events ev;
+  ASSERT_TRUE(s.submit(job(1, 64), ev.on_start(), ev.on_end()).is_ok());
+  e.run();
+  ASSERT_EQ(ev.started.size(), 1u);
+  EXPECT_EQ(e.now(), 64 * sim::kMillisecond);
+  EXPECT_EQ(s.busy_processors(), 64);
+}
+
+TEST(ForkScheduler, SelfCompletesWithRuntime) {
+  sim::Engine e;
+  ForkScheduler s(e, sim::kMillisecond);
+  Events ev;
+  s.submit(job(1, 2, 5 * sim::kSecond), ev.on_start(), ev.on_end());
+  e.run();
+  ASSERT_EQ(ev.ended.size(), 1u);
+  EXPECT_EQ(ev.ended[0].second, EndReason::kCompleted);
+  EXPECT_EQ(e.now(), 2 * sim::kMillisecond + 5 * sim::kSecond);
+  EXPECT_EQ(s.busy_processors(), 0);
+}
+
+TEST(ForkScheduler, ExternallyCompleted) {
+  sim::Engine e;
+  ForkScheduler s(e, 0);
+  Events ev;
+  s.submit(job(1, 4), ev.on_start(), ev.on_end());
+  e.run();
+  EXPECT_EQ(s.busy_processors(), 4);
+  s.complete(1);
+  EXPECT_EQ(s.busy_processors(), 0);
+  ASSERT_EQ(ev.ended.size(), 1u);
+}
+
+TEST(ForkScheduler, WallTimeKills) {
+  sim::Engine e;
+  ForkScheduler s(e, 0);
+  Events ev;
+  JobDescriptor d = job(1, 1);
+  d.max_wall_time = sim::kSecond;
+  s.submit(d, ev.on_start(), ev.on_end());
+  e.run();
+  ASSERT_EQ(ev.ended.size(), 1u);
+  EXPECT_EQ(ev.ended[0].second, EndReason::kWallTimeExceeded);
+}
+
+TEST(ForkScheduler, CancelBeforeStart) {
+  sim::Engine e;
+  ForkScheduler s(e, sim::kSecond);
+  Events ev;
+  s.submit(job(1, 10), ev.on_start(), ev.on_end());
+  EXPECT_TRUE(s.cancel(1));
+  e.run();
+  EXPECT_TRUE(ev.started.empty());
+  ASSERT_EQ(ev.ended.size(), 1u);
+  EXPECT_EQ(ev.ended[0].second, EndReason::kCancelled);
+}
+
+TEST(ForkScheduler, RejectsBadDescriptors) {
+  sim::Engine e;
+  ForkScheduler s(e, 0);
+  Events ev;
+  EXPECT_FALSE(s.submit(job(1, 0), ev.on_start(), ev.on_end()).is_ok());
+  ASSERT_TRUE(s.submit(job(2, 1), ev.on_start(), ev.on_end()).is_ok());
+  EXPECT_FALSE(s.submit(job(2, 1), ev.on_start(), ev.on_end()).is_ok());
+}
+
+// ---- FCFS batch ----------------------------------------------------------------
+
+TEST(BatchScheduler, RunsJobsFcfsWithinCapacity) {
+  sim::Engine e;
+  BatchScheduler s(e, 10);
+  Events ev;
+  s.submit(job(1, 6, 10 * sim::kSecond), ev.on_start(), ev.on_end());
+  s.submit(job(2, 6, 10 * sim::kSecond), ev.on_start(), ev.on_end());
+  s.submit(job(3, 4, 10 * sim::kSecond), ev.on_start(), ev.on_end());
+  // Job 1 starts immediately; job 2 does not fit; FCFS blocks job 3 too.
+  EXPECT_EQ(ev.started, (std::vector<JobId>{1}));
+  EXPECT_EQ(s.queue_length(), 2u);
+  e.run();
+  // When job 1 ends, jobs 2 and 3 both fit (6 + 4 = 10) and start together.
+  EXPECT_EQ(ev.started, (std::vector<JobId>{1, 2, 3}));
+  EXPECT_EQ(e.now(), 20 * sim::kSecond);
+}
+
+TEST(BatchScheduler, RejectsOversizedJob) {
+  sim::Engine e;
+  BatchScheduler s(e, 8);
+  Events ev;
+  EXPECT_EQ(s.submit(job(1, 9), ev.on_start(), ev.on_end()).code(),
+            util::ErrorCode::kResourceExhausted);
+}
+
+TEST(BatchScheduler, CancelQueuedUnblocksSuccessors) {
+  sim::Engine e;
+  BatchScheduler s(e, 10);
+  Events ev;
+  s.submit(job(1, 10, 10 * sim::kSecond), ev.on_start(), ev.on_end());
+  s.submit(job(2, 10, 10 * sim::kSecond), ev.on_start(), ev.on_end());
+  EXPECT_TRUE(s.cancel(2));
+  e.run();
+  EXPECT_EQ(ev.started, (std::vector<JobId>{1}));
+  EXPECT_EQ(ev.ended.size(), 2u);
+}
+
+TEST(BatchScheduler, CancelRunningFreesProcessors) {
+  sim::Engine e;
+  BatchScheduler s(e, 10);
+  Events ev;
+  s.submit(job(1, 10), ev.on_start(), ev.on_end());
+  s.submit(job(2, 10, sim::kSecond), ev.on_start(), ev.on_end());
+  EXPECT_TRUE(s.cancel(1));
+  e.run();
+  EXPECT_EQ(ev.started, (std::vector<JobId>{1, 2}));
+}
+
+TEST(BatchScheduler, WallTimeEndsJob) {
+  sim::Engine e;
+  BatchScheduler s(e, 4);
+  Events ev;
+  JobDescriptor d = job(1, 4);
+  d.max_wall_time = 2 * sim::kSecond;
+  s.submit(d, ev.on_start(), ev.on_end());
+  e.run();
+  ASSERT_EQ(ev.ended.size(), 1u);
+  EXPECT_EQ(ev.ended[0].second, EndReason::kWallTimeExceeded);
+  EXPECT_EQ(s.busy_processors(), 0);
+}
+
+TEST(BatchScheduler, SnapshotReflectsQueue) {
+  sim::Engine e;
+  BatchScheduler s(e, 4);
+  Events ev;
+  s.submit(job(1, 4, 10 * sim::kSecond), ev.on_start(), ev.on_end());
+  s.submit(job(2, 2, 5 * sim::kSecond, 5 * sim::kSecond), ev.on_start(),
+           ev.on_end());
+  const QueueSnapshot snap = s.snapshot();
+  EXPECT_EQ(snap.total_processors, 4);
+  EXPECT_EQ(snap.busy_processors, 4);
+  ASSERT_EQ(snap.queued.size(), 1u);
+  EXPECT_EQ(snap.queued[0].id, 2u);
+  EXPECT_EQ(snap.queued_work(), 2 * 5 * sim::kSecond);
+}
+
+TEST(BatchScheduler, RecordsWaitHistory) {
+  sim::Engine e;
+  BatchScheduler s(e, 4);
+  Events ev;
+  s.submit(job(1, 4, 10 * sim::kSecond), ev.on_start(), ev.on_end());
+  s.submit(job(2, 4, sim::kSecond), ev.on_start(), ev.on_end());
+  e.run();
+  ASSERT_EQ(s.wait_history().size(), 2u);
+  EXPECT_EQ(s.wait_history()[0].started_at - s.wait_history()[0].submitted_at,
+            0);
+  EXPECT_EQ(s.wait_history()[1].started_at - s.wait_history()[1].submitted_at,
+            10 * sim::kSecond);
+}
+
+// ---- EASY backfill ---------------------------------------------------------------
+
+TEST(Backfill, SmallJobJumpsQueueWithoutDelayingHead) {
+  sim::Engine e;
+  BatchScheduler s(e, 10, Backfill::kEasy);
+  Events ev;
+  // Job 1 occupies 8 for 10 s.  Job 2 (head, needs 10) must wait for it.
+  // Job 3 needs 2 for 5 s: fits now and ends before the shadow time.
+  s.submit(job(1, 8, 10 * sim::kSecond, 10 * sim::kSecond), ev.on_start(),
+           ev.on_end());
+  s.submit(job(2, 10, 10 * sim::kSecond, 10 * sim::kSecond), ev.on_start(),
+           ev.on_end());
+  s.submit(job(3, 2, 5 * sim::kSecond, 5 * sim::kSecond), ev.on_start(),
+           ev.on_end());
+  EXPECT_EQ(ev.started, (std::vector<JobId>{1, 3}));  // 3 backfilled
+  e.run();
+  EXPECT_EQ(ev.started, (std::vector<JobId>{1, 3, 2}));
+  // Head job 2 started exactly at the shadow time (10 s), not delayed.
+  EXPECT_EQ(e.now(), 20 * sim::kSecond);
+}
+
+TEST(Backfill, LongJobDoesNotDelayHead) {
+  sim::Engine e;
+  BatchScheduler s(e, 10, Backfill::kEasy);
+  Events ev;
+  s.submit(job(1, 8, 10 * sim::kSecond, 10 * sim::kSecond), ev.on_start(),
+           ev.on_end());
+  s.submit(job(2, 10, sim::kSecond, sim::kSecond), ev.on_start(), ev.on_end());
+  // Job 3 fits now but would run past the shadow time and does not fit in
+  // the head job's spare processors (10 - 10 = 0): must NOT backfill.
+  s.submit(job(3, 2, 60 * sim::kSecond, 60 * sim::kSecond), ev.on_start(),
+           ev.on_end());
+  EXPECT_EQ(ev.started, (std::vector<JobId>{1}));
+  e.run();
+  EXPECT_EQ(ev.started, (std::vector<JobId>{1, 2, 3}));
+}
+
+TEST(Backfill, UsesSpareProcessorsForLongJobs) {
+  sim::Engine e;
+  BatchScheduler s(e, 10, Backfill::kEasy);
+  Events ev;
+  s.submit(job(1, 8, 10 * sim::kSecond, 10 * sim::kSecond), ev.on_start(),
+           ev.on_end());
+  s.submit(job(2, 6, sim::kSecond, sim::kSecond), ev.on_start(), ev.on_end());
+  // Head (job 2, needs 6) will start at t=10 with 4 spare processors.
+  // Job 3 (2 procs, long) fits in the spare set: backfills immediately.
+  s.submit(job(3, 2, 60 * sim::kSecond, 60 * sim::kSecond), ev.on_start(),
+           ev.on_end());
+  EXPECT_EQ(ev.started, (std::vector<JobId>{1, 3}));
+}
+
+TEST(Backfill, FcfsNeverBackfills) {
+  sim::Engine e;
+  BatchScheduler s(e, 10, Backfill::kNone);
+  Events ev;
+  s.submit(job(1, 8, 10 * sim::kSecond, 10 * sim::kSecond), ev.on_start(),
+           ev.on_end());
+  s.submit(job(2, 10, 10 * sim::kSecond, 10 * sim::kSecond), ev.on_start(),
+           ev.on_end());
+  s.submit(job(3, 2, 5 * sim::kSecond, 5 * sim::kSecond), ev.on_start(),
+           ev.on_end());
+  EXPECT_EQ(ev.started, (std::vector<JobId>{1}));
+}
+
+/// Property: under EASY backfill, the head job never starts later than it
+/// would under pure FCFS with the same (deterministic) workload.
+class BackfillProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BackfillProperty, HeadNeverDelayedVsFcfs) {
+  for (int variant = 0; variant < 4; ++variant) {
+    sim::Rng rng(GetParam() * 977 + variant);
+    struct Run {
+      std::vector<sim::Time> starts;
+    };
+    auto simulate = [&](Backfill mode) {
+      sim::Engine e;
+      BatchScheduler s(e, 32, mode);
+      Run run;
+      run.starts.resize(40, -1);
+      sim::Rng local = rng;  // same workload for both modes
+      for (JobId id = 0; id < 40; ++id) {
+        const auto count = static_cast<std::int32_t>(local.uniform_int(1, 32));
+        const sim::Time runtime = local.uniform_time(1, 100) * sim::kSecond;
+        const sim::Time at = local.uniform_time(0, 200) * sim::kSecond;
+        e.schedule_at(at, [&s, &run, id, count, runtime] {
+          JobDescriptor d;
+          d.id = id;
+          d.count = count;
+          d.runtime = runtime;
+          d.estimated_runtime = runtime;  // perfect estimates
+          s.submit(
+              d,
+              [&run](JobId j) {
+                // started_at recorded via history below
+                (void)j;
+              },
+              nullptr);
+        });
+      }
+      e.run();
+      for (const auto& h : s.wait_history()) {
+        run.starts[static_cast<std::size_t>(h.count) % 40] = 0;  // unused
+      }
+      return s.wait_history();
+    };
+    auto fcfs = simulate(Backfill::kNone);
+    auto easy = simulate(Backfill::kEasy);
+    // Total throughput identical; backfill never strands work.
+    ASSERT_EQ(fcfs.size(), easy.size());
+    // Mean wait under EASY is never worse than FCFS for this workload
+    // (with perfect estimates EASY dominates FCFS in aggregate).
+    sim::Time fcfs_total = 0, easy_total = 0;
+    for (const auto& h : fcfs) fcfs_total += h.started_at - h.submitted_at;
+    for (const auto& h : easy) easy_total += h.started_at - h.submitted_at;
+    EXPECT_LE(easy_total, fcfs_total);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BackfillProperty,
+                         ::testing::Values(1, 2, 3, 4, 5, 6));
+
+// ---- reservations ---------------------------------------------------------------
+
+TEST(ReservationScheduler, AdmitsAndTracksWindows) {
+  sim::Engine e;
+  ReservationScheduler s(e, 16);
+  auto r1 = s.reserve(10 * sim::kSecond, 20 * sim::kSecond, 8);
+  ASSERT_TRUE(r1.is_ok());
+  auto r2 = s.reserve(15 * sim::kSecond, 25 * sim::kSecond, 8);
+  ASSERT_TRUE(r2.is_ok());
+  // A third overlapping 8-processor window cannot fit a 16-way machine.
+  EXPECT_FALSE(s.reserve(12 * sim::kSecond, 18 * sim::kSecond, 8).is_ok());
+  EXPECT_EQ(s.reserved_at(16 * sim::kSecond), 16);
+  EXPECT_EQ(s.reserved_at(5 * sim::kSecond), 0);
+}
+
+TEST(ReservationScheduler, RejectsBadWindows) {
+  sim::Engine e;
+  ReservationScheduler s(e, 16);
+  EXPECT_FALSE(s.reserve(10, 10, 4).is_ok());   // empty window
+  EXPECT_FALSE(s.reserve(10, 20, 17).is_ok());  // larger than machine
+  EXPECT_FALSE(s.reserve(10, 20, 0).is_ok());
+}
+
+TEST(ReservationScheduler, BoundJobStartsAtWindowOpen) {
+  sim::Engine e;
+  ReservationScheduler s(e, 16);
+  auto r = s.reserve(10 * sim::kSecond, 20 * sim::kSecond, 8);
+  ASSERT_TRUE(r.is_ok());
+  Events ev;
+  sim::Time started_at = -1;
+  ASSERT_TRUE(s.submit_reserved(job(1, 8, 5 * sim::kSecond), r.value().id,
+                                [&](JobId) { started_at = e.now(); },
+                                ev.on_end())
+                  .is_ok());
+  e.run();
+  EXPECT_EQ(started_at, 10 * sim::kSecond);
+  ASSERT_EQ(ev.ended.size(), 1u);
+  EXPECT_EQ(ev.ended[0].second, EndReason::kCompleted);
+}
+
+TEST(ReservationScheduler, JobKilledAtWindowEnd) {
+  sim::Engine e;
+  ReservationScheduler s(e, 16);
+  auto r = s.reserve(0, 10 * sim::kSecond, 8);
+  ASSERT_TRUE(r.is_ok());
+  Events ev;
+  s.submit_reserved(job(1, 8, 60 * sim::kSecond), r.value().id, ev.on_start(),
+                    ev.on_end());
+  e.run();
+  ASSERT_EQ(ev.ended.size(), 1u);
+  EXPECT_EQ(ev.ended[0].second, EndReason::kWallTimeExceeded);
+  EXPECT_EQ(e.now(), 10 * sim::kSecond);
+}
+
+TEST(ReservationScheduler, BestEffortAvoidsReservedWindow) {
+  sim::Engine e;
+  ReservationScheduler s(e, 16);
+  auto r = s.reserve(5 * sim::kSecond, 15 * sim::kSecond, 16);
+  ASSERT_TRUE(r.is_ok());
+  Events ev;
+  sim::Time started_at = -1;
+  // 10-second best-effort job submitted at t=0 would collide with the
+  // full-machine window at t=5: it must wait until the window closes.
+  s.submit(job(1, 8, 10 * sim::kSecond, 10 * sim::kSecond),
+           [&](JobId) { started_at = e.now(); }, ev.on_end());
+  e.run();
+  EXPECT_EQ(started_at, 15 * sim::kSecond);
+}
+
+TEST(ReservationScheduler, BestEffortRunsBesideSmallReservation) {
+  sim::Engine e;
+  ReservationScheduler s(e, 16);
+  ASSERT_TRUE(s.reserve(5 * sim::kSecond, 15 * sim::kSecond, 8).is_ok());
+  Events ev;
+  sim::Time started_at = -1;
+  s.submit(job(1, 8, 10 * sim::kSecond, 10 * sim::kSecond),
+           [&](JobId) { started_at = e.now(); }, ev.on_end());
+  e.run();
+  EXPECT_EQ(started_at, 0);  // 8 + 8 fits throughout
+}
+
+TEST(ReservationScheduler, CancelReservationFreesWindow) {
+  sim::Engine e;
+  ReservationScheduler s(e, 16);
+  auto r = s.reserve(5 * sim::kSecond, 15 * sim::kSecond, 16);
+  ASSERT_TRUE(r.is_ok());
+  EXPECT_TRUE(s.cancel_reservation(r.value().id));
+  EXPECT_FALSE(s.cancel_reservation(r.value().id));
+  Events ev;
+  sim::Time started_at = -1;
+  s.submit(job(1, 16, 10 * sim::kSecond, 10 * sim::kSecond),
+           [&](JobId) { started_at = e.now(); }, ev.on_end());
+  e.run();
+  EXPECT_EQ(started_at, 0);
+}
+
+TEST(ReservationScheduler, AdmissionConsidersRunningWork) {
+  sim::Engine e;
+  ReservationScheduler s(e, 16);
+  Events ev;
+  // A best-effort job holds 16 processors until t=100 (estimated).
+  s.submit(job(1, 16, 100 * sim::kSecond, 100 * sim::kSecond), ev.on_start(),
+           ev.on_end());
+  // A reservation overlapping the estimate must be refused ...
+  EXPECT_FALSE(s.reserve(50 * sim::kSecond, 60 * sim::kSecond, 1).is_ok());
+  // ... but one after the estimated drain is admitted.
+  EXPECT_TRUE(
+      s.reserve(150 * sim::kSecond, 160 * sim::kSecond, 16).is_ok());
+}
+
+/// Property: reservations admitted by the scheduler never overlap beyond
+/// machine capacity, for random workloads.
+class ReservationProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ReservationProperty, AdmittedWindowsNeverOversubscribe) {
+  sim::Rng rng(GetParam() * 31 + 7);
+  sim::Engine e;
+  const std::int32_t capacity = 24;
+  ReservationScheduler s(e, capacity);
+  std::vector<Reservation> admitted;
+  for (int i = 0; i < 200; ++i) {
+    const sim::Time start = rng.uniform_time(0, 1000) * sim::kSecond;
+    const sim::Time end = start + rng.uniform_time(1, 100) * sim::kSecond;
+    const auto count = static_cast<std::int32_t>(rng.uniform_int(1, 16));
+    auto r = s.reserve(start, end, count);
+    if (r.is_ok()) admitted.push_back(r.value());
+  }
+  EXPECT_GT(admitted.size(), 10u);
+  // Verify no instant is oversubscribed.
+  for (const Reservation& probe : admitted) {
+    for (sim::Time t : {probe.start, probe.end - 1}) {
+      std::int32_t total = 0;
+      for (const Reservation& r : admitted) {
+        if (r.start <= t && t < r.end) total += r.count;
+      }
+      EXPECT_LE(total, capacity);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ReservationProperty,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+// ---- predictors ------------------------------------------------------------------
+
+TEST(AggregateWorkPredictor, ZeroForIdleMachine) {
+  AggregateWorkPredictor p;
+  QueueSnapshot snap;
+  snap.total_processors = 16;
+  snap.busy_processors = 0;
+  EXPECT_EQ(p.predict(snap, 8), 0);
+}
+
+TEST(AggregateWorkPredictor, GrowsWithQueuedWork) {
+  AggregateWorkPredictor p;
+  QueueSnapshot light, heavy;
+  light.total_processors = heavy.total_processors = 16;
+  light.busy_processors = heavy.busy_processors = 16;
+  light.queued.push_back({1, 8, 60 * sim::kSecond, 0});
+  heavy.queued.push_back({1, 8, 60 * sim::kSecond, 0});
+  heavy.queued.push_back({2, 16, 600 * sim::kSecond, 0});
+  EXPECT_GT(p.predict(heavy, 8), p.predict(light, 8));
+}
+
+TEST(HistoryPredictor, EmptyPredictsZero) {
+  HistoryPredictor p;
+  QueueSnapshot snap;
+  EXPECT_EQ(p.predict(snap, 4), 0);
+}
+
+TEST(HistoryPredictor, LearnsFromObservations) {
+  HistoryPredictor p(128, 4);
+  // Busy states waited ~100 s, idle states ~0 s.
+  for (int i = 0; i < 20; ++i) {
+    p.observe(10, 1000 * sim::kMinute, 8, 100 * sim::kSecond);
+    p.observe(0, 0, 8, 0);
+  }
+  QueueSnapshot idle;
+  idle.total_processors = 16;
+  QueueSnapshot busy;
+  busy.total_processors = 16;
+  busy.busy_processors = 16;
+  for (int i = 0; i < 10; ++i) {
+    busy.queued.push_back({static_cast<JobId>(i), 8, 100 * sim::kMinute, 0});
+  }
+  EXPECT_LT(p.predict(idle, 8), 10 * sim::kSecond);
+  EXPECT_GT(p.predict(busy, 8), 50 * sim::kSecond);
+}
+
+TEST(HistoryPredictor, TrainsFromSchedulerHistory) {
+  sim::Engine e;
+  BatchScheduler s(e, 8);
+  s.submit(job(1, 8, 10 * sim::kSecond, 10 * sim::kSecond), nullptr, nullptr);
+  s.submit(job(2, 8, 10 * sim::kSecond, 10 * sim::kSecond), nullptr, nullptr);
+  e.run();
+  HistoryPredictor p;
+  p.train(s.wait_history());
+  EXPECT_EQ(p.observation_count(), 2u);
+}
+
+TEST(HistoryPredictor, WindowEvictsOldest) {
+  HistoryPredictor p(4, 2);
+  for (int i = 0; i < 10; ++i) p.observe(i, 0, 1, i * sim::kSecond);
+  EXPECT_EQ(p.observation_count(), 4u);
+}
+
+// ---- information service -----------------------------------------------------------
+
+TEST(LoadInformationService, PublishesOnInterval) {
+  sim::Engine e;
+  BatchScheduler s(e, 8);
+  LoadInformationService gis(e, 10 * sim::kSecond);
+  gis.register_resource("rm", &s);
+  gis.start();
+  // Initial snapshot at registration: idle.
+  EXPECT_EQ(gis.query("rm").value().busy_processors, 0);
+  // Load appears at t=0 but is only visible after the next publish tick.
+  s.submit(job(1, 8, 60 * sim::kSecond), nullptr, nullptr);
+  e.run_until(5 * sim::kSecond);
+  EXPECT_EQ(gis.query("rm").value().busy_processors, 0);  // stale
+  EXPECT_EQ(gis.staleness("rm"), 5 * sim::kSecond);
+  e.run_until(11 * sim::kSecond);
+  EXPECT_EQ(gis.query("rm").value().busy_processors, 8);  // refreshed
+  gis.stop();
+}
+
+TEST(LoadInformationService, ZeroIntervalIsPerfectInformation) {
+  sim::Engine e;
+  BatchScheduler s(e, 8);
+  LoadInformationService gis(e, 0);
+  gis.register_resource("rm", &s);
+  s.submit(job(1, 4, 60 * sim::kSecond), nullptr, nullptr);
+  EXPECT_EQ(gis.query("rm").value().busy_processors, 4);
+}
+
+TEST(LoadInformationService, UnknownContactFails) {
+  sim::Engine e;
+  LoadInformationService gis(e, sim::kSecond);
+  EXPECT_FALSE(gis.query("nope").is_ok());
+  EXPECT_EQ(gis.staleness("nope"), sim::kTimeNever);
+}
+
+}  // namespace
+}  // namespace grid::sched

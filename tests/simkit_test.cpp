@@ -1,0 +1,464 @@
+// Unit tests for the discrete-event engine, RNG, statistics, codec, and
+// status types.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "simkit/codec.hpp"
+#include "simkit/engine.hpp"
+#include "simkit/rng.hpp"
+#include "simkit/stats.hpp"
+#include "simkit/status.hpp"
+#include "simkit/time.hpp"
+
+namespace grid {
+namespace {
+
+// ---- engine -----------------------------------------------------------------
+
+TEST(Engine, StartsAtTimeZero) {
+  sim::Engine e;
+  EXPECT_EQ(e.now(), 0);
+  EXPECT_EQ(e.pending(), 0u);
+}
+
+TEST(Engine, RunsEventsInTimeOrder) {
+  sim::Engine e;
+  std::vector<int> order;
+  e.schedule_at(30, [&] { order.push_back(3); });
+  e.schedule_at(10, [&] { order.push_back(1); });
+  e.schedule_at(20, [&] { order.push_back(2); });
+  e.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(e.now(), 30);
+}
+
+TEST(Engine, SameTimeEventsRunFifo) {
+  sim::Engine e;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    e.schedule_at(5, [&order, i] { order.push_back(i); });
+  }
+  e.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(Engine, ScheduleAfterUsesCurrentTime) {
+  sim::Engine e;
+  sim::Time inner = -1;
+  e.schedule_at(100, [&] {
+    e.schedule_after(50, [&] { inner = e.now(); });
+  });
+  e.run();
+  EXPECT_EQ(inner, 150);
+}
+
+TEST(Engine, SchedulingInThePastClampsToNow) {
+  sim::Engine e;
+  sim::Time fired = -1;
+  e.schedule_at(100, [&] {
+    e.schedule_at(10, [&] { fired = e.now(); });
+  });
+  e.run();
+  EXPECT_EQ(fired, 100);
+}
+
+TEST(Engine, CancelPreventsExecution) {
+  sim::Engine e;
+  bool fired = false;
+  auto id = e.schedule_at(10, [&] { fired = true; });
+  EXPECT_TRUE(e.cancel(id));
+  e.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Engine, CancelReturnsFalseForFiredEvent) {
+  sim::Engine e;
+  auto id = e.schedule_at(10, [] {});
+  e.run();
+  EXPECT_FALSE(e.cancel(id));
+}
+
+TEST(Engine, CancelTwiceReturnsFalse) {
+  sim::Engine e;
+  auto id = e.schedule_at(10, [] {});
+  EXPECT_TRUE(e.cancel(id));
+  EXPECT_FALSE(e.cancel(id));
+}
+
+TEST(Engine, DefaultEventIdIsInvalidToCancel) {
+  sim::Engine e;
+  EXPECT_FALSE(e.cancel(sim::EventId{}));
+}
+
+TEST(Engine, RunUntilStopsAtDeadline) {
+  sim::Engine e;
+  std::vector<sim::Time> fired;
+  e.schedule_at(10, [&] { fired.push_back(10); });
+  e.schedule_at(20, [&] { fired.push_back(20); });
+  e.schedule_at(30, [&] { fired.push_back(30); });
+  e.run_until(20);
+  EXPECT_EQ(fired, (std::vector<sim::Time>{10, 20}));
+  EXPECT_EQ(e.now(), 20);
+  EXPECT_EQ(e.pending(), 1u);
+  e.run();
+  EXPECT_EQ(fired.size(), 3u);
+}
+
+TEST(Engine, StepReturnsFalseWhenEmpty) {
+  sim::Engine e;
+  EXPECT_FALSE(e.step());
+  e.schedule_at(1, [] {});
+  EXPECT_TRUE(e.step());
+  EXPECT_FALSE(e.step());
+}
+
+TEST(Engine, EventsScheduledDuringRunExecute) {
+  sim::Engine e;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 5) e.schedule_after(1, recurse);
+  };
+  e.schedule_at(0, recurse);
+  e.run();
+  EXPECT_EQ(depth, 5);
+  EXPECT_EQ(e.now(), 4);
+}
+
+TEST(Engine, ExecutedCounterCounts) {
+  sim::Engine e;
+  for (int i = 0; i < 7; ++i) e.schedule_at(i, [] {});
+  e.run();
+  EXPECT_EQ(e.executed(), 7u);
+}
+
+TEST(Engine, PendingExcludesCancelled) {
+  sim::Engine e;
+  auto a = e.schedule_at(1, [] {});
+  e.schedule_at(2, [] {});
+  EXPECT_EQ(e.pending(), 2u);
+  e.cancel(a);
+  EXPECT_EQ(e.pending(), 1u);
+}
+
+// ---- time ---------------------------------------------------------------------
+
+TEST(Time, ConversionRoundTrips) {
+  EXPECT_EQ(sim::from_seconds(2.0), 2 * sim::kSecond);
+  EXPECT_DOUBLE_EQ(sim::to_seconds(1500 * sim::kMillisecond), 1.5);
+  EXPECT_DOUBLE_EQ(sim::to_millis(3 * sim::kMillisecond), 3.0);
+}
+
+TEST(Time, FormatPicksUnits) {
+  EXPECT_EQ(sim::format_time(2 * sim::kSecond), "2.000s");
+  EXPECT_EQ(sim::format_time(3 * sim::kMillisecond), "3.000ms");
+  EXPECT_EQ(sim::format_time(5 * sim::kMicrosecond), "5us");
+  EXPECT_EQ(sim::format_time(7), "7ns");
+  EXPECT_EQ(sim::format_time(sim::kTimeNever), "never");
+}
+
+// ---- rng -----------------------------------------------------------------------
+
+TEST(Rng, DeterministicForEqualSeeds) {
+  sim::Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  sim::Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformIntStaysInRange) {
+  sim::Rng r(7);
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = r.uniform_int(-3, 11);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 11);
+  }
+}
+
+TEST(Rng, UniformIntDegenerateRange) {
+  sim::Rng r(7);
+  EXPECT_EQ(r.uniform_int(5, 5), 5);
+  EXPECT_EQ(r.uniform_int(9, 2), 9);  // inverted: returns lo
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  sim::Rng r(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = r.next_double();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Rng, ChanceEdgeCases) {
+  sim::Rng r(5);
+  EXPECT_FALSE(r.chance(0.0));
+  EXPECT_TRUE(r.chance(1.0));
+  EXPECT_FALSE(r.chance(-0.5));
+  EXPECT_TRUE(r.chance(1.5));
+}
+
+TEST(Rng, ChanceApproximatesProbability) {
+  sim::Rng r(11);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (r.chance(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(Rng, ExponentialMeanApproximatelyCorrect) {
+  sim::Rng r(13);
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += r.exponential(5.0);
+  EXPECT_NEAR(sum / n, 5.0, 0.2);
+}
+
+TEST(Rng, NormalMomentsApproximatelyCorrect) {
+  sim::Rng r(17);
+  util::Accumulator acc;
+  for (int i = 0; i < 20000; ++i) acc.add(r.normal(10.0, 2.0));
+  EXPECT_NEAR(acc.mean(), 10.0, 0.1);
+  EXPECT_NEAR(acc.stddev(), 2.0, 0.1);
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  sim::Rng a(42);
+  sim::Rng child = a.fork();
+  sim::Rng b(42);
+  b.next_u64();  // same position as `a` after fork
+  // The child stream must not replay the parent stream.
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (child.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformTimeInRange) {
+  sim::Rng r(23);
+  for (int i = 0; i < 100; ++i) {
+    const sim::Time t = r.uniform_time(10, 20);
+    EXPECT_GE(t, 10);
+    EXPECT_LE(t, 20);
+  }
+}
+
+// ---- stats ---------------------------------------------------------------------
+
+TEST(Accumulator, BasicMoments) {
+  util::Accumulator a;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) a.add(v);
+  EXPECT_EQ(a.count(), 8u);
+  EXPECT_DOUBLE_EQ(a.mean(), 5.0);
+  EXPECT_NEAR(a.stddev(), 2.138, 0.001);  // sample stddev
+  EXPECT_DOUBLE_EQ(a.min(), 2.0);
+  EXPECT_DOUBLE_EQ(a.max(), 9.0);
+  EXPECT_DOUBLE_EQ(a.sum(), 40.0);
+}
+
+TEST(Accumulator, EmptyIsZero) {
+  util::Accumulator a;
+  EXPECT_EQ(a.count(), 0u);
+  EXPECT_EQ(a.mean(), 0.0);
+  EXPECT_EQ(a.variance(), 0.0);
+}
+
+TEST(Accumulator, MergeMatchesCombinedStream) {
+  util::Accumulator all, left, right;
+  sim::Rng r(29);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = r.uniform(-5, 5);
+    all.add(v);
+    (i % 2 == 0 ? left : right).add(v);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), all.count());
+  EXPECT_NEAR(left.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(left.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(left.min(), all.min());
+  EXPECT_DOUBLE_EQ(left.max(), all.max());
+}
+
+TEST(Samples, QuantilesInterpolate) {
+  util::Samples s;
+  for (double v : {1.0, 2.0, 3.0, 4.0}) s.add(v);
+  EXPECT_DOUBLE_EQ(s.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(s.quantile(1.0), 4.0);
+  EXPECT_DOUBLE_EQ(s.median(), 2.5);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.5);
+}
+
+TEST(Samples, EmptyQuantileIsZero) {
+  util::Samples s;
+  EXPECT_EQ(s.quantile(0.5), 0.0);
+}
+
+TEST(Histogram, BinsAndOverflow) {
+  util::Histogram h(0.0, 10.0, 5);
+  h.add(-1.0);
+  h.add(0.0);
+  h.add(1.9);
+  h.add(5.0);
+  h.add(10.0);
+  h.add(99.0);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 2u);
+  EXPECT_EQ(h.bin(0), 2u);  // 0.0 and 1.9
+  EXPECT_EQ(h.bin(2), 1u);  // 5.0
+  EXPECT_EQ(h.total(), 6u);
+  EXPECT_DOUBLE_EQ(h.bin_lo(1), 2.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(1), 4.0);
+  EXPECT_FALSE(h.render().empty());
+}
+
+// ---- codec -----------------------------------------------------------------------
+
+TEST(Codec, PrimitiveRoundTrip) {
+  util::Writer w;
+  w.u8(0xab);
+  w.u16(0x1234);
+  w.u32(0xdeadbeef);
+  w.u64(0x0123456789abcdefULL);
+  w.i32(-42);
+  w.i64(-1234567890123LL);
+  w.f64(3.14159);
+  w.boolean(true);
+  w.boolean(false);
+  util::Reader r(w.bytes());
+  EXPECT_EQ(r.u8(), 0xab);
+  EXPECT_EQ(r.u16(), 0x1234);
+  EXPECT_EQ(r.u32(), 0xdeadbeefu);
+  EXPECT_EQ(r.u64(), 0x0123456789abcdefULL);
+  EXPECT_EQ(r.i32(), -42);
+  EXPECT_EQ(r.i64(), -1234567890123LL);
+  EXPECT_DOUBLE_EQ(r.f64(), 3.14159);
+  EXPECT_TRUE(r.boolean());
+  EXPECT_FALSE(r.boolean());
+  EXPECT_TRUE(r.done());
+}
+
+TEST(Codec, StringAndBlobRoundTrip) {
+  util::Writer w;
+  w.str("hello grid");
+  w.str("");
+  w.blob({0x01, 0x02, 0x03});
+  util::Reader r(w.bytes());
+  EXPECT_EQ(r.str(), "hello grid");
+  EXPECT_EQ(r.str(), "");
+  EXPECT_EQ(r.blob(), (util::Bytes{0x01, 0x02, 0x03}));
+  EXPECT_TRUE(r.done());
+}
+
+TEST(Codec, ReadPastEndMarksBad) {
+  util::Writer w;
+  w.u8(1);
+  util::Reader r(w.bytes());
+  r.u8();
+  EXPECT_TRUE(r.ok());
+  r.u32();
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.u64(), 0u);  // stays bad, returns zero
+}
+
+TEST(Codec, TruncatedStringMarksBad) {
+  util::Writer w;
+  w.varint(100);  // claims 100 bytes
+  w.u8('x');
+  util::Reader r(w.bytes());
+  EXPECT_EQ(r.str(), "");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(Codec, OverlongVarintMarksBad) {
+  util::Bytes bad(11, 0xff);
+  util::Reader r(bad);
+  r.varint();
+  EXPECT_FALSE(r.ok());
+}
+
+class CodecVarintSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CodecVarintSweep, RoundTrips) {
+  util::Writer w;
+  w.varint(GetParam());
+  util::Reader r(w.bytes());
+  EXPECT_EQ(r.varint(), GetParam());
+  EXPECT_TRUE(r.done());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Boundaries, CodecVarintSweep,
+    ::testing::Values(0ULL, 1ULL, 127ULL, 128ULL, 129ULL, 16383ULL, 16384ULL,
+                      (1ULL << 32) - 1, 1ULL << 32, UINT64_MAX - 1,
+                      UINT64_MAX));
+
+TEST(Codec, RandomizedMixedRoundTrip) {
+  sim::Rng rng(31337);
+  for (int trial = 0; trial < 50; ++trial) {
+    util::Writer w;
+    std::vector<std::uint64_t> vals;
+    std::vector<std::string> strs;
+    for (int i = 0; i < 20; ++i) {
+      const std::uint64_t v = rng.next_u64() >> (rng.uniform_int(0, 63));
+      vals.push_back(v);
+      w.varint(v);
+      std::string s;
+      const auto len = rng.uniform_int(0, 40);
+      for (std::int64_t k = 0; k < len; ++k) {
+        s += static_cast<char>(rng.uniform_int(0, 255));
+      }
+      strs.push_back(s);
+      w.str(s);
+    }
+    util::Reader r(w.bytes());
+    for (int i = 0; i < 20; ++i) {
+      EXPECT_EQ(r.varint(), vals[static_cast<size_t>(i)]);
+      EXPECT_EQ(r.str(), strs[static_cast<size_t>(i)]);
+    }
+    EXPECT_TRUE(r.done());
+  }
+}
+
+// ---- status -----------------------------------------------------------------------
+
+TEST(Status, OkByDefault) {
+  util::Status s;
+  EXPECT_TRUE(s.is_ok());
+  EXPECT_EQ(s.to_string(), "OK");
+}
+
+TEST(Status, CarriesCodeAndMessage) {
+  util::Status s(util::ErrorCode::kTimeout, "deadline");
+  EXPECT_FALSE(s.is_ok());
+  EXPECT_EQ(s.code(), util::ErrorCode::kTimeout);
+  EXPECT_EQ(s.to_string(), "TIMEOUT: deadline");
+}
+
+TEST(Result, ValueAndError) {
+  util::Result<int> ok(7);
+  EXPECT_TRUE(ok.is_ok());
+  EXPECT_EQ(ok.value(), 7);
+  util::Result<int> err(util::ErrorCode::kNotFound, "gone");
+  EXPECT_FALSE(err.is_ok());
+  EXPECT_EQ(err.status().code(), util::ErrorCode::kNotFound);
+}
+
+TEST(Result, TakeMovesValue) {
+  util::Result<std::string> r(std::string("payload"));
+  const std::string v = r.take();
+  EXPECT_EQ(v, "payload");
+}
+
+}  // namespace
+}  // namespace grid

@@ -1,0 +1,233 @@
+// Tests for the testbed assembly layer, reporting, logging, and the app
+// behaviour / failure-injection substrate.
+#include <gtest/gtest.h>
+
+#include "app/failure.hpp"
+#include "rsl/parser.hpp"
+#include "simkit/log.hpp"
+#include "test_util.hpp"
+#include "testbed/report.hpp"
+
+namespace grid {
+namespace {
+
+// ---- reporting ----------------------------------------------------------------
+
+TEST(Report, TableAlignsAndRules) {
+  testbed::Table t({"name", "value"});
+  t.add_row({"alpha", "1.5"});
+  t.add_row({"much-longer-name", "22.25"});
+  const std::string out = t.render();
+  // Header, rule, two rows.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("-----"), std::string::npos);
+  // Numeric cells are right-aligned: the short number is padded left.
+  EXPECT_NE(out.find("  1.5"), std::string::npos);
+}
+
+TEST(Report, RowsPaddedToHeaderCount) {
+  testbed::Table t({"a", "b", "c"});
+  t.add_row({"only-one"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("only-one"), std::string::npos);
+}
+
+TEST(Report, NumFormatting) {
+  EXPECT_EQ(testbed::Table::num(1.23456, 2), "1.23");
+  EXPECT_EQ(testbed::Table::num(std::int64_t{42}), "42");
+}
+
+// ---- logging ------------------------------------------------------------------
+
+TEST(Logger, StampsWithVirtualTimeAndComponent) {
+  sim::Engine engine;
+  util::Logger logger(engine, "gram/host1");
+  logger.set_level(util::LogLevel::kDebug);
+  std::vector<std::string> lines;
+  logger.set_sink([&](std::string_view line) { lines.emplace_back(line); });
+  engine.schedule_at(1500 * sim::kMillisecond, [&] {
+    GRID_LOG(logger, kInfo) << "job " << 7 << " started";
+  });
+  engine.run();
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_NE(lines[0].find("[1.500s]"), std::string::npos);
+  EXPECT_NE(lines[0].find("INFO"), std::string::npos);
+  EXPECT_NE(lines[0].find("gram/host1"), std::string::npos);
+  EXPECT_NE(lines[0].find("job 7 started"), std::string::npos);
+}
+
+TEST(Logger, LevelFiltersBelowThreshold) {
+  sim::Engine engine;
+  util::Logger logger(engine, "x");
+  logger.set_level(util::LogLevel::kWarn);
+  int lines = 0;
+  logger.set_sink([&](std::string_view) { ++lines; });
+  GRID_LOG(logger, kDebug) << "hidden";
+  GRID_LOG(logger, kInfo) << "hidden";
+  GRID_LOG(logger, kWarn) << "shown";
+  GRID_LOG(logger, kError) << "shown";
+  EXPECT_EQ(lines, 2);
+}
+
+TEST(Logger, ChildExtendsComponent) {
+  sim::Engine engine;
+  util::Logger parent(engine, "gram");
+  parent.set_level(util::LogLevel::kInfo);
+  std::string got;
+  parent.set_sink([&](std::string_view line) { got = std::string(line); });
+  util::Logger child = parent.child("jm42");
+  GRID_LOG(child, kInfo) << "x";
+  EXPECT_NE(got.find("gram/jm42"), std::string::npos);
+}
+
+// ---- testbed grid ----------------------------------------------------------------
+
+TEST(Testbed, HostLookupAndResolver) {
+  testbed::Grid grid(testbed::CostModel::fast());
+  grid.add_host("alpha", 16);
+  grid.add_host("beta", 32, testbed::SchedulerKind::kFcfs);
+  EXPECT_EQ(grid.host_count(), 2u);
+  EXPECT_NE(grid.host("alpha"), nullptr);
+  EXPECT_EQ(grid.host("gamma"), nullptr);
+  auto resolver = grid.resolver();
+  EXPECT_TRUE(resolver("alpha").is_ok());
+  EXPECT_EQ(resolver("gamma").status().code(), util::ErrorCode::kNotFound);
+  EXPECT_EQ(grid.host("beta")->scheduler().policy(), "fcfs");
+  EXPECT_EQ(grid.host("alpha")->scheduler().policy(), "fork");
+  EXPECT_EQ(grid.host("alpha")->scheduler().total_processors(), 16);
+}
+
+TEST(Testbed, SchedulerKindsExposeTypedAccessors) {
+  testbed::Grid grid(testbed::CostModel::fast());
+  grid.add_host("f", 8, testbed::SchedulerKind::kFork);
+  grid.add_host("b", 8, testbed::SchedulerKind::kBackfill);
+  grid.add_host("r", 8, testbed::SchedulerKind::kReservation);
+  EXPECT_EQ(grid.host("f")->batch_scheduler(), nullptr);
+  EXPECT_NE(grid.host("b")->batch_scheduler(), nullptr);
+  EXPECT_NE(grid.host("r")->reservation_scheduler(), nullptr);
+  EXPECT_EQ(grid.host("b")->scheduler().policy(), "easy-backfill");
+  EXPECT_EQ(grid.host("r")->scheduler().policy(), "fcfs+reservations");
+}
+
+TEST(Testbed, CrashAndRestoreAreObservable) {
+  testbed::Grid grid(testbed::CostModel::fast());
+  auto& host = grid.add_host("h", 8);
+  EXPECT_TRUE(host.is_up());
+  host.crash();
+  EXPECT_FALSE(host.is_up());
+  host.restore();
+  EXPECT_TRUE(host.is_up());
+}
+
+TEST(Testbed, RslHelpersEmitParseableRequests) {
+  const std::string text = testbed::rsl_multi(
+      {testbed::rsl_subjob("h1", 4, "exe", "interactive", "workers"),
+       testbed::rsl_subjob("h2", 1, "exe")});
+  auto spec = rsl::parse_multi_request(text);
+  ASSERT_TRUE(spec.is_ok()) << spec.status().to_string();
+  auto jobs = rsl::parse_job_requests(spec.value());
+  ASSERT_TRUE(jobs.is_ok());
+  ASSERT_EQ(jobs.value().size(), 2u);
+  EXPECT_EQ(jobs.value()[0].label, "workers");
+  EXPECT_EQ(jobs.value()[0].start_type, rsl::SubjobStartType::kInteractive);
+  EXPECT_EQ(jobs.value()[1].count, 1);
+}
+
+// ---- app behaviours -----------------------------------------------------------------
+
+TEST(AppBehavior, BarrierStatsAggregates) {
+  app::BarrierStats stats;
+  stats.records.push_back({"h", 1, 0, 10 * sim::kSecond, 14 * sim::kSecond});
+  stats.records.push_back({"h", 1, 1, 10 * sim::kSecond, 18 * sim::kSecond});
+  stats.records.push_back({"h", 1, 2, -1, -1});  // never released
+  auto samples = stats.wait_samples();
+  EXPECT_EQ(samples.count(), 2u);
+  EXPECT_DOUBLE_EQ(samples.min(), 4.0);
+  EXPECT_DOUBLE_EQ(samples.max(), 8.0);
+  stats.clear();
+  EXPECT_TRUE(stats.records.empty());
+}
+
+TEST(AppBehavior, PerJobFailureScopeFailsWholeSubjobOnce) {
+  // failure_per_job: only rank 0 draws, so the per-subjob failure rate is
+  // exactly p, independent of subjob width.
+  int failed_subjobs = 0;
+  const int trials = 40;
+  for (int t = 0; t < trials; ++t) {
+    test::SmallGrid g(1);
+    app::StartupProfile profile;
+    profile.failure_probability = 0.5;
+    profile.failure_per_job = true;
+    profile.mode_on_chance = app::FailureMode::kFailedCheck;
+    app::install_app(g.grid->executables(), "risky", profile, &g.stats,
+                     1000 + static_cast<std::uint64_t>(t));
+    test::Outcome outcome;
+    auto* req = g.coallocator->create_request(outcome.callbacks());
+    rsl::JobRequest j;
+    j.resource_manager_contact = "host1";
+    j.executable = "risky";
+    j.count = 32;  // wide subjob: per-process draws would fail ~always
+    req->add_subjob(std::move(j));
+    req->commit();
+    g.grid->run();
+    if (!outcome.released) ++failed_subjobs;
+  }
+  // ~50% of trials fail; with per-process draws 32-wide subjobs would fail
+  // in essentially 100% of trials.
+  EXPECT_GT(failed_subjobs, 8);
+  EXPECT_LT(failed_subjobs, 32);
+}
+
+TEST(AppBehavior, FailureInjectorSchedulesWindows) {
+  sim::Engine engine;
+  net::Network network(engine);
+  struct Sink : net::Node {
+    void handle_message(const net::Message&) override { ++received; }
+    int received = 0;
+  } sink;
+  const net::NodeId a = network.attach(&sink, "a");
+  const net::NodeId b = network.attach(&sink, "b");
+  app::FailureInjector injector(network);
+  injector.partition_between(a, b, sim::kSecond, 2 * sim::kSecond);
+  injector.crash_at(a, 3 * sim::kSecond);
+  injector.restore_at(a, 4 * sim::kSecond);
+  EXPECT_EQ(injector.injected_events(), 3u);
+  // During the partition window nothing is delivered.
+  engine.schedule_at(1500 * sim::kMillisecond,
+                     [&] { network.send(a, b, 1, {}); });
+  // After the partition lifts, delivery works again.
+  engine.schedule_at(2500 * sim::kMillisecond,
+                     [&] { network.send(a, b, 1, {}); });
+  // While crashed the node cannot receive.
+  engine.schedule_at(3500 * sim::kMillisecond,
+                     [&] { network.send(b, a, 1, {}); });
+  // After restore it can.
+  engine.schedule_at(4500 * sim::kMillisecond,
+                     [&] { network.send(b, a, 1, {}); });
+  engine.run();
+  EXPECT_EQ(sink.received, 2);
+}
+
+TEST(AppBehavior, InstallAppIsDeterministicPerSeed) {
+  auto run_once = [](std::uint64_t seed) {
+    test::SmallGrid g(2);
+    app::StartupProfile profile;
+    profile.init_jitter = sim::kSecond;
+    profile.failure_probability = 0.3;
+    profile.mode_on_chance = app::FailureMode::kFailedCheck;
+    app::install_app(g.grid->executables(), "x", profile, &g.stats, seed);
+    test::Outcome outcome;
+    auto* req = g.coallocator->create_request(outcome.callbacks());
+    req->add_rsl(testbed::rsl_multi({testbed::rsl_subjob("host1", 8, "x"),
+                                     testbed::rsl_subjob("host2", 8, "x")}));
+    req->commit();
+    g.grid->run();
+    return std::make_pair(outcome.released, g.grid->engine().now());
+  };
+  EXPECT_EQ(run_once(7), run_once(7));
+  EXPECT_EQ(run_once(8), run_once(8));
+}
+
+}  // namespace
+}  // namespace grid
