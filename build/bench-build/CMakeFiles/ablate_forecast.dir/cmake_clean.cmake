@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablate_forecast"
+  "../bench/ablate_forecast.pdb"
+  "CMakeFiles/ablate_forecast.dir/ablate_forecast.cpp.o"
+  "CMakeFiles/ablate_forecast.dir/ablate_forecast.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_forecast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

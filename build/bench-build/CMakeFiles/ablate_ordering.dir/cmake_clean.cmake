@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablate_ordering"
+  "../bench/ablate_ordering.pdb"
+  "CMakeFiles/ablate_ordering.dir/ablate_ordering.cpp.o"
+  "CMakeFiles/ablate_ordering.dir/ablate_ordering.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_ordering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablate_pipelining"
+  "../bench/ablate_pipelining.pdb"
+  "CMakeFiles/ablate_pipelining.dir/ablate_pipelining.cpp.o"
+  "CMakeFiles/ablate_pipelining.dir/ablate_pipelining.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_pipelining.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

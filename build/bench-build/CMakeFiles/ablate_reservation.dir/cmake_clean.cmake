@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablate_reservation"
+  "../bench/ablate_reservation.pdb"
+  "CMakeFiles/ablate_reservation.dir/ablate_reservation.cpp.o"
+  "CMakeFiles/ablate_reservation.dir/ablate_reservation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_reservation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/app_atomic_vs_interactive"
+  "../bench/app_atomic_vs_interactive.pdb"
+  "CMakeFiles/app_atomic_vs_interactive.dir/app_atomic_vs_interactive.cpp.o"
+  "CMakeFiles/app_atomic_vs_interactive.dir/app_atomic_vs_interactive.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/app_atomic_vs_interactive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

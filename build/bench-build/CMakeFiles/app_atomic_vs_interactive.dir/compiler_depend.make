@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for app_atomic_vs_interactive.
+# This may be replaced when dependencies are built.

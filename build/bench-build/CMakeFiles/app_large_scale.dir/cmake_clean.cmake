@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/app_large_scale"
+  "../bench/app_large_scale.pdb"
+  "CMakeFiles/app_large_scale.dir/app_large_scale.cpp.o"
+  "CMakeFiles/app_large_scale.dir/app_large_scale.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/app_large_scale.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig4_duroc_subjobs"
+  "../bench/fig4_duroc_subjobs.pdb"
+  "CMakeFiles/fig4_duroc_subjobs.dir/fig4_duroc_subjobs.cpp.o"
+  "CMakeFiles/fig4_duroc_subjobs.dir/fig4_duroc_subjobs.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_duroc_subjobs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/forecast_broker.dir/forecast_broker.cpp.o"
+  "CMakeFiles/forecast_broker.dir/forecast_broker.cpp.o.d"
+  "forecast_broker"
+  "forecast_broker.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/forecast_broker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

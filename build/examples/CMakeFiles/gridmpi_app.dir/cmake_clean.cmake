@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gridmpi_app.dir/gridmpi_app.cpp.o"
+  "CMakeFiles/gridmpi_app.dir/gridmpi_app.cpp.o.d"
+  "gridmpi_app"
+  "gridmpi_app.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gridmpi_app.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

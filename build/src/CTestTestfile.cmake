@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("simkit")
+subdirs("net")
+subdirs("rsl")
+subdirs("gsi")
+subdirs("sched")
+subdirs("gram")
+subdirs("info")
+subdirs("core")
+subdirs("config")
+subdirs("app")
+subdirs("testbed")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grid_app.dir/behaviors.cpp.o"
+  "CMakeFiles/grid_app.dir/behaviors.cpp.o.d"
+  "CMakeFiles/grid_app.dir/failure.cpp.o"
+  "CMakeFiles/grid_app.dir/failure.cpp.o.d"
+  "libgrid_app.a"
+  "libgrid_app.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grid_app.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

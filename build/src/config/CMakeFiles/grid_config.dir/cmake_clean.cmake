@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grid_config.dir/gridmpi.cpp.o"
+  "CMakeFiles/grid_config.dir/gridmpi.cpp.o.d"
+  "CMakeFiles/grid_config.dir/runtime_api.cpp.o"
+  "CMakeFiles/grid_config.dir/runtime_api.cpp.o.d"
+  "libgrid_config.a"
+  "libgrid_config.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grid_config.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/app_barrier.cpp" "src/core/CMakeFiles/grid_core.dir/app_barrier.cpp.o" "gcc" "src/core/CMakeFiles/grid_core.dir/app_barrier.cpp.o.d"
+  "/root/repo/src/core/barrier_protocol.cpp" "src/core/CMakeFiles/grid_core.dir/barrier_protocol.cpp.o" "gcc" "src/core/CMakeFiles/grid_core.dir/barrier_protocol.cpp.o.d"
+  "/root/repo/src/core/coallocator.cpp" "src/core/CMakeFiles/grid_core.dir/coallocator.cpp.o" "gcc" "src/core/CMakeFiles/grid_core.dir/coallocator.cpp.o.d"
+  "/root/repo/src/core/composite.cpp" "src/core/CMakeFiles/grid_core.dir/composite.cpp.o" "gcc" "src/core/CMakeFiles/grid_core.dir/composite.cpp.o.d"
+  "/root/repo/src/core/coreserver.cpp" "src/core/CMakeFiles/grid_core.dir/coreserver.cpp.o" "gcc" "src/core/CMakeFiles/grid_core.dir/coreserver.cpp.o.d"
+  "/root/repo/src/core/grab.cpp" "src/core/CMakeFiles/grid_core.dir/grab.cpp.o" "gcc" "src/core/CMakeFiles/grid_core.dir/grab.cpp.o.d"
+  "/root/repo/src/core/monitor.cpp" "src/core/CMakeFiles/grid_core.dir/monitor.cpp.o" "gcc" "src/core/CMakeFiles/grid_core.dir/monitor.cpp.o.d"
+  "/root/repo/src/core/request.cpp" "src/core/CMakeFiles/grid_core.dir/request.cpp.o" "gcc" "src/core/CMakeFiles/grid_core.dir/request.cpp.o.d"
+  "/root/repo/src/core/strategies.cpp" "src/core/CMakeFiles/grid_core.dir/strategies.cpp.o" "gcc" "src/core/CMakeFiles/grid_core.dir/strategies.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/simkit/CMakeFiles/grid_simkit.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/grid_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/rsl/CMakeFiles/grid_rsl.dir/DependInfo.cmake"
+  "/root/repo/build/src/gsi/CMakeFiles/grid_gsi.dir/DependInfo.cmake"
+  "/root/repo/build/src/gram/CMakeFiles/grid_gram.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/grid_sched.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grid_core.dir/app_barrier.cpp.o"
+  "CMakeFiles/grid_core.dir/app_barrier.cpp.o.d"
+  "CMakeFiles/grid_core.dir/barrier_protocol.cpp.o"
+  "CMakeFiles/grid_core.dir/barrier_protocol.cpp.o.d"
+  "CMakeFiles/grid_core.dir/coallocator.cpp.o"
+  "CMakeFiles/grid_core.dir/coallocator.cpp.o.d"
+  "CMakeFiles/grid_core.dir/composite.cpp.o"
+  "CMakeFiles/grid_core.dir/composite.cpp.o.d"
+  "CMakeFiles/grid_core.dir/coreserver.cpp.o"
+  "CMakeFiles/grid_core.dir/coreserver.cpp.o.d"
+  "CMakeFiles/grid_core.dir/grab.cpp.o"
+  "CMakeFiles/grid_core.dir/grab.cpp.o.d"
+  "CMakeFiles/grid_core.dir/monitor.cpp.o"
+  "CMakeFiles/grid_core.dir/monitor.cpp.o.d"
+  "CMakeFiles/grid_core.dir/request.cpp.o"
+  "CMakeFiles/grid_core.dir/request.cpp.o.d"
+  "CMakeFiles/grid_core.dir/strategies.cpp.o"
+  "CMakeFiles/grid_core.dir/strategies.cpp.o.d"
+  "libgrid_core.a"
+  "libgrid_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grid_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gram/client.cpp" "src/gram/CMakeFiles/grid_gram.dir/client.cpp.o" "gcc" "src/gram/CMakeFiles/grid_gram.dir/client.cpp.o.d"
+  "/root/repo/src/gram/gatekeeper.cpp" "src/gram/CMakeFiles/grid_gram.dir/gatekeeper.cpp.o" "gcc" "src/gram/CMakeFiles/grid_gram.dir/gatekeeper.cpp.o.d"
+  "/root/repo/src/gram/jobmanager.cpp" "src/gram/CMakeFiles/grid_gram.dir/jobmanager.cpp.o" "gcc" "src/gram/CMakeFiles/grid_gram.dir/jobmanager.cpp.o.d"
+  "/root/repo/src/gram/nis.cpp" "src/gram/CMakeFiles/grid_gram.dir/nis.cpp.o" "gcc" "src/gram/CMakeFiles/grid_gram.dir/nis.cpp.o.d"
+  "/root/repo/src/gram/process.cpp" "src/gram/CMakeFiles/grid_gram.dir/process.cpp.o" "gcc" "src/gram/CMakeFiles/grid_gram.dir/process.cpp.o.d"
+  "/root/repo/src/gram/protocol.cpp" "src/gram/CMakeFiles/grid_gram.dir/protocol.cpp.o" "gcc" "src/gram/CMakeFiles/grid_gram.dir/protocol.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/simkit/CMakeFiles/grid_simkit.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/grid_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/rsl/CMakeFiles/grid_rsl.dir/DependInfo.cmake"
+  "/root/repo/build/src/gsi/CMakeFiles/grid_gsi.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/grid_sched.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

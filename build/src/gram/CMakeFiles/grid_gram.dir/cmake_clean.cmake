@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grid_gram.dir/client.cpp.o"
+  "CMakeFiles/grid_gram.dir/client.cpp.o.d"
+  "CMakeFiles/grid_gram.dir/gatekeeper.cpp.o"
+  "CMakeFiles/grid_gram.dir/gatekeeper.cpp.o.d"
+  "CMakeFiles/grid_gram.dir/jobmanager.cpp.o"
+  "CMakeFiles/grid_gram.dir/jobmanager.cpp.o.d"
+  "CMakeFiles/grid_gram.dir/nis.cpp.o"
+  "CMakeFiles/grid_gram.dir/nis.cpp.o.d"
+  "CMakeFiles/grid_gram.dir/process.cpp.o"
+  "CMakeFiles/grid_gram.dir/process.cpp.o.d"
+  "CMakeFiles/grid_gram.dir/protocol.cpp.o"
+  "CMakeFiles/grid_gram.dir/protocol.cpp.o.d"
+  "libgrid_gram.a"
+  "libgrid_gram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grid_gram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gsi/credential.cpp" "src/gsi/CMakeFiles/grid_gsi.dir/credential.cpp.o" "gcc" "src/gsi/CMakeFiles/grid_gsi.dir/credential.cpp.o.d"
+  "/root/repo/src/gsi/protocol.cpp" "src/gsi/CMakeFiles/grid_gsi.dir/protocol.cpp.o" "gcc" "src/gsi/CMakeFiles/grid_gsi.dir/protocol.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/simkit/CMakeFiles/grid_simkit.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/grid_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

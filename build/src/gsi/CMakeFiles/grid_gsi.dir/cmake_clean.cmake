@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grid_gsi.dir/credential.cpp.o"
+  "CMakeFiles/grid_gsi.dir/credential.cpp.o.d"
+  "CMakeFiles/grid_gsi.dir/protocol.cpp.o"
+  "CMakeFiles/grid_gsi.dir/protocol.cpp.o.d"
+  "libgrid_gsi.a"
+  "libgrid_gsi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grid_gsi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

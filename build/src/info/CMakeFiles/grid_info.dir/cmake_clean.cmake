@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grid_info.dir/broker.cpp.o"
+  "CMakeFiles/grid_info.dir/broker.cpp.o.d"
+  "CMakeFiles/grid_info.dir/gis.cpp.o"
+  "CMakeFiles/grid_info.dir/gis.cpp.o.d"
+  "libgrid_info.a"
+  "libgrid_info.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grid_info.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

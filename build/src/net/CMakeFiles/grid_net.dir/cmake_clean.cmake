@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grid_net.dir/network.cpp.o"
+  "CMakeFiles/grid_net.dir/network.cpp.o.d"
+  "CMakeFiles/grid_net.dir/rpc.cpp.o"
+  "CMakeFiles/grid_net.dir/rpc.cpp.o.d"
+  "libgrid_net.a"
+  "libgrid_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grid_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

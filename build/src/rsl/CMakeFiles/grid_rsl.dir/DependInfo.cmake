@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rsl/alternatives.cpp" "src/rsl/CMakeFiles/grid_rsl.dir/alternatives.cpp.o" "gcc" "src/rsl/CMakeFiles/grid_rsl.dir/alternatives.cpp.o.d"
+  "/root/repo/src/rsl/ast.cpp" "src/rsl/CMakeFiles/grid_rsl.dir/ast.cpp.o" "gcc" "src/rsl/CMakeFiles/grid_rsl.dir/ast.cpp.o.d"
+  "/root/repo/src/rsl/attributes.cpp" "src/rsl/CMakeFiles/grid_rsl.dir/attributes.cpp.o" "gcc" "src/rsl/CMakeFiles/grid_rsl.dir/attributes.cpp.o.d"
+  "/root/repo/src/rsl/editor.cpp" "src/rsl/CMakeFiles/grid_rsl.dir/editor.cpp.o" "gcc" "src/rsl/CMakeFiles/grid_rsl.dir/editor.cpp.o.d"
+  "/root/repo/src/rsl/lexer.cpp" "src/rsl/CMakeFiles/grid_rsl.dir/lexer.cpp.o" "gcc" "src/rsl/CMakeFiles/grid_rsl.dir/lexer.cpp.o.d"
+  "/root/repo/src/rsl/parser.cpp" "src/rsl/CMakeFiles/grid_rsl.dir/parser.cpp.o" "gcc" "src/rsl/CMakeFiles/grid_rsl.dir/parser.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/simkit/CMakeFiles/grid_simkit.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grid_rsl.dir/alternatives.cpp.o"
+  "CMakeFiles/grid_rsl.dir/alternatives.cpp.o.d"
+  "CMakeFiles/grid_rsl.dir/ast.cpp.o"
+  "CMakeFiles/grid_rsl.dir/ast.cpp.o.d"
+  "CMakeFiles/grid_rsl.dir/attributes.cpp.o"
+  "CMakeFiles/grid_rsl.dir/attributes.cpp.o.d"
+  "CMakeFiles/grid_rsl.dir/editor.cpp.o"
+  "CMakeFiles/grid_rsl.dir/editor.cpp.o.d"
+  "CMakeFiles/grid_rsl.dir/lexer.cpp.o"
+  "CMakeFiles/grid_rsl.dir/lexer.cpp.o.d"
+  "CMakeFiles/grid_rsl.dir/parser.cpp.o"
+  "CMakeFiles/grid_rsl.dir/parser.cpp.o.d"
+  "libgrid_rsl.a"
+  "libgrid_rsl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grid_rsl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

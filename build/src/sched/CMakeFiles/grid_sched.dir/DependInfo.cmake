@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sched/batch.cpp" "src/sched/CMakeFiles/grid_sched.dir/batch.cpp.o" "gcc" "src/sched/CMakeFiles/grid_sched.dir/batch.cpp.o.d"
+  "/root/repo/src/sched/coreservation.cpp" "src/sched/CMakeFiles/grid_sched.dir/coreservation.cpp.o" "gcc" "src/sched/CMakeFiles/grid_sched.dir/coreservation.cpp.o.d"
+  "/root/repo/src/sched/fork.cpp" "src/sched/CMakeFiles/grid_sched.dir/fork.cpp.o" "gcc" "src/sched/CMakeFiles/grid_sched.dir/fork.cpp.o.d"
+  "/root/repo/src/sched/infoservice.cpp" "src/sched/CMakeFiles/grid_sched.dir/infoservice.cpp.o" "gcc" "src/sched/CMakeFiles/grid_sched.dir/infoservice.cpp.o.d"
+  "/root/repo/src/sched/predict.cpp" "src/sched/CMakeFiles/grid_sched.dir/predict.cpp.o" "gcc" "src/sched/CMakeFiles/grid_sched.dir/predict.cpp.o.d"
+  "/root/repo/src/sched/reservation.cpp" "src/sched/CMakeFiles/grid_sched.dir/reservation.cpp.o" "gcc" "src/sched/CMakeFiles/grid_sched.dir/reservation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/simkit/CMakeFiles/grid_simkit.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grid_sched.dir/batch.cpp.o"
+  "CMakeFiles/grid_sched.dir/batch.cpp.o.d"
+  "CMakeFiles/grid_sched.dir/coreservation.cpp.o"
+  "CMakeFiles/grid_sched.dir/coreservation.cpp.o.d"
+  "CMakeFiles/grid_sched.dir/fork.cpp.o"
+  "CMakeFiles/grid_sched.dir/fork.cpp.o.d"
+  "CMakeFiles/grid_sched.dir/infoservice.cpp.o"
+  "CMakeFiles/grid_sched.dir/infoservice.cpp.o.d"
+  "CMakeFiles/grid_sched.dir/predict.cpp.o"
+  "CMakeFiles/grid_sched.dir/predict.cpp.o.d"
+  "CMakeFiles/grid_sched.dir/reservation.cpp.o"
+  "CMakeFiles/grid_sched.dir/reservation.cpp.o.d"
+  "libgrid_sched.a"
+  "libgrid_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grid_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

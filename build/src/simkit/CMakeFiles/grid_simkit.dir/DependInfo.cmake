@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/simkit/codec.cpp" "src/simkit/CMakeFiles/grid_simkit.dir/codec.cpp.o" "gcc" "src/simkit/CMakeFiles/grid_simkit.dir/codec.cpp.o.d"
+  "/root/repo/src/simkit/engine.cpp" "src/simkit/CMakeFiles/grid_simkit.dir/engine.cpp.o" "gcc" "src/simkit/CMakeFiles/grid_simkit.dir/engine.cpp.o.d"
+  "/root/repo/src/simkit/log.cpp" "src/simkit/CMakeFiles/grid_simkit.dir/log.cpp.o" "gcc" "src/simkit/CMakeFiles/grid_simkit.dir/log.cpp.o.d"
+  "/root/repo/src/simkit/rng.cpp" "src/simkit/CMakeFiles/grid_simkit.dir/rng.cpp.o" "gcc" "src/simkit/CMakeFiles/grid_simkit.dir/rng.cpp.o.d"
+  "/root/repo/src/simkit/stats.cpp" "src/simkit/CMakeFiles/grid_simkit.dir/stats.cpp.o" "gcc" "src/simkit/CMakeFiles/grid_simkit.dir/stats.cpp.o.d"
+  "/root/repo/src/simkit/status.cpp" "src/simkit/CMakeFiles/grid_simkit.dir/status.cpp.o" "gcc" "src/simkit/CMakeFiles/grid_simkit.dir/status.cpp.o.d"
+  "/root/repo/src/simkit/time.cpp" "src/simkit/CMakeFiles/grid_simkit.dir/time.cpp.o" "gcc" "src/simkit/CMakeFiles/grid_simkit.dir/time.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grid_simkit.dir/codec.cpp.o"
+  "CMakeFiles/grid_simkit.dir/codec.cpp.o.d"
+  "CMakeFiles/grid_simkit.dir/engine.cpp.o"
+  "CMakeFiles/grid_simkit.dir/engine.cpp.o.d"
+  "CMakeFiles/grid_simkit.dir/log.cpp.o"
+  "CMakeFiles/grid_simkit.dir/log.cpp.o.d"
+  "CMakeFiles/grid_simkit.dir/rng.cpp.o"
+  "CMakeFiles/grid_simkit.dir/rng.cpp.o.d"
+  "CMakeFiles/grid_simkit.dir/stats.cpp.o"
+  "CMakeFiles/grid_simkit.dir/stats.cpp.o.d"
+  "CMakeFiles/grid_simkit.dir/status.cpp.o"
+  "CMakeFiles/grid_simkit.dir/status.cpp.o.d"
+  "CMakeFiles/grid_simkit.dir/time.cpp.o"
+  "CMakeFiles/grid_simkit.dir/time.cpp.o.d"
+  "libgrid_simkit.a"
+  "libgrid_simkit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grid_simkit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

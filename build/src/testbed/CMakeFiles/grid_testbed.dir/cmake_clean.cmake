@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grid_testbed.dir/grid.cpp.o"
+  "CMakeFiles/grid_testbed.dir/grid.cpp.o.d"
+  "CMakeFiles/grid_testbed.dir/report.cpp.o"
+  "CMakeFiles/grid_testbed.dir/report.cpp.o.d"
+  "libgrid_testbed.a"
+  "libgrid_testbed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grid_testbed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coreserve_test.dir/coreserve_test.cpp.o"
+  "CMakeFiles/coreserve_test.dir/coreserve_test.cpp.o.d"
+  "coreserve_test"
+  "coreserve_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coreserve_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gsi_test.dir/gsi_test.cpp.o"
+  "CMakeFiles/gsi_test.dir/gsi_test.cpp.o.d"
+  "gsi_test"
+  "gsi_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gsi_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

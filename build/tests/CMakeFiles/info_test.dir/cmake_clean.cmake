@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/info_test.dir/info_test.cpp.o"
+  "CMakeFiles/info_test.dir/info_test.cpp.o.d"
+  "info_test"
+  "info_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/info_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
