@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablate_retry.cpp" "bench-build/CMakeFiles/ablate_retry.dir/ablate_retry.cpp.o" "gcc" "bench-build/CMakeFiles/ablate_retry.dir/ablate_retry.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/testbed/CMakeFiles/grid_testbed.dir/DependInfo.cmake"
+  "/root/repo/build/src/app/CMakeFiles/grid_app.dir/DependInfo.cmake"
+  "/root/repo/build/src/config/CMakeFiles/grid_config.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/grid_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/info/CMakeFiles/grid_info.dir/DependInfo.cmake"
+  "/root/repo/build/src/gram/CMakeFiles/grid_gram.dir/DependInfo.cmake"
+  "/root/repo/build/src/gsi/CMakeFiles/grid_gsi.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/grid_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/rsl/CMakeFiles/grid_rsl.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/grid_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/simkit/CMakeFiles/grid_simkit.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

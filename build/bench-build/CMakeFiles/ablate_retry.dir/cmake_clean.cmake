@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablate_retry"
+  "../bench/ablate_retry.pdb"
+  "CMakeFiles/ablate_retry.dir/ablate_retry.cpp.o"
+  "CMakeFiles/ablate_retry.dir/ablate_retry.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_retry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

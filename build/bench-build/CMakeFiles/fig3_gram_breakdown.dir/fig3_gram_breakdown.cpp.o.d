@@ -224,15 +224,16 @@ bench-build/CMakeFiles/fig3_gram_breakdown.dir/fig3_gram_breakdown.cpp.o: \
  /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
  /root/repo/src/simkit/rng.hpp /usr/include/c++/12/limits \
  /root/repo/src/gram/job.hpp /root/repo/src/gram/process.hpp \
- /root/repo/src/net/rpc.hpp /root/repo/src/simkit/stats.hpp \
- /root/repo/src/gram/client.hpp /root/repo/src/gram/protocol.hpp \
- /root/repo/src/gsi/protocol.hpp /root/repo/src/gsi/credential.hpp \
- /root/repo/src/gram/nis.hpp /root/repo/src/sched/fork.hpp \
- /root/repo/src/sched/scheduler.hpp /root/repo/src/testbed/grid.hpp \
- /root/repo/src/core/coallocator.hpp /root/repo/src/core/request.hpp \
- /root/repo/src/rsl/attributes.hpp /root/repo/src/rsl/ast.hpp \
- /root/repo/src/simkit/log.hpp /usr/include/c++/12/sstream \
- /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
+ /root/repo/src/net/rpc.hpp /root/repo/src/net/retry.hpp \
+ /root/repo/src/simkit/stats.hpp /root/repo/src/gram/client.hpp \
+ /root/repo/src/gram/protocol.hpp /root/repo/src/gsi/protocol.hpp \
+ /root/repo/src/gsi/credential.hpp /root/repo/src/gram/nis.hpp \
+ /root/repo/src/sched/fork.hpp /root/repo/src/sched/scheduler.hpp \
+ /root/repo/src/testbed/grid.hpp /root/repo/src/core/coallocator.hpp \
+ /root/repo/src/core/request.hpp /root/repo/src/rsl/attributes.hpp \
+ /root/repo/src/rsl/ast.hpp /root/repo/src/simkit/log.hpp \
+ /usr/include/c++/12/sstream /usr/include/c++/12/istream \
+ /usr/include/c++/12/bits/istream.tcc \
  /usr/include/c++/12/bits/sstream.tcc /root/repo/src/gram/gatekeeper.hpp \
  /root/repo/src/gram/jobmanager.hpp /root/repo/src/sched/batch.hpp \
  /root/repo/src/sched/reservation.hpp \

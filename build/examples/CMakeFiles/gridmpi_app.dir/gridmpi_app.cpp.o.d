@@ -225,7 +225,8 @@ examples/CMakeFiles/gridmpi_app.dir/gridmpi_app.cpp.o: \
  /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
  /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
  /root/repo/src/simkit/rng.hpp /usr/include/c++/12/limits \
- /root/repo/src/net/rpc.hpp /root/repo/src/core/app_barrier.hpp \
+ /root/repo/src/net/rpc.hpp /root/repo/src/net/retry.hpp \
+ /root/repo/src/core/app_barrier.hpp \
  /root/repo/src/core/barrier_protocol.hpp /root/repo/src/gram/job.hpp \
  /root/repo/src/gram/process.hpp /root/repo/src/testbed/grid.hpp \
  /root/repo/src/core/coallocator.hpp /root/repo/src/core/request.hpp \

@@ -223,5 +223,5 @@ src/app/CMakeFiles/grid_app.dir/behaviors.cpp.o: \
  /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
  /root/repo/src/simkit/rng.hpp /usr/include/c++/12/limits \
  /root/repo/src/gram/job.hpp /root/repo/src/gram/process.hpp \
- /root/repo/src/net/rpc.hpp /root/repo/src/simkit/stats.hpp \
- /usr/include/c++/12/charconv
+ /root/repo/src/net/rpc.hpp /root/repo/src/net/retry.hpp \
+ /root/repo/src/simkit/stats.hpp /usr/include/c++/12/charconv

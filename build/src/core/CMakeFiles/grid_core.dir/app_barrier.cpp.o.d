@@ -224,4 +224,5 @@ src/core/CMakeFiles/grid_core.dir/app_barrier.cpp.o: \
  /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
  /root/repo/src/simkit/rng.hpp /usr/include/c++/12/limits \
  /root/repo/src/gram/job.hpp /root/repo/src/gram/process.hpp \
- /root/repo/src/net/rpc.hpp /usr/include/c++/12/charconv
+ /root/repo/src/net/rpc.hpp /root/repo/src/net/retry.hpp \
+ /usr/include/c++/12/charconv

@@ -225,8 +225,8 @@ src/core/CMakeFiles/grid_core.dir/coallocator.cpp.o: \
  /usr/include/c++/12/limits /root/repo/src/gram/job.hpp \
  /root/repo/src/gram/client.hpp /root/repo/src/gram/protocol.hpp \
  /root/repo/src/gsi/protocol.hpp /root/repo/src/gsi/credential.hpp \
- /root/repo/src/net/rpc.hpp /root/repo/src/rsl/attributes.hpp \
- /root/repo/src/rsl/ast.hpp /root/repo/src/simkit/log.hpp \
- /usr/include/c++/12/sstream /usr/include/c++/12/istream \
- /usr/include/c++/12/bits/istream.tcc \
+ /root/repo/src/net/rpc.hpp /root/repo/src/net/retry.hpp \
+ /root/repo/src/rsl/attributes.hpp /root/repo/src/rsl/ast.hpp \
+ /root/repo/src/simkit/log.hpp /usr/include/c++/12/sstream \
+ /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
  /usr/include/c++/12/bits/sstream.tcc

@@ -102,7 +102,10 @@ src/gram/CMakeFiles/grid_gram.dir/client.cpp.o: \
  /usr/include/x86_64-linux-gnu/bits/struct_rwlock.h /usr/include/alloca.h \
  /usr/include/x86_64-linux-gnu/bits/stdlib-bsearch.h \
  /usr/include/x86_64-linux-gnu/bits/stdlib-float.h \
- /usr/include/c++/12/bits/std_abs.h /usr/include/c++/12/string \
+ /usr/include/c++/12/bits/std_abs.h /usr/include/c++/12/optional \
+ /usr/include/c++/12/exception /usr/include/c++/12/bits/exception_ptr.h \
+ /usr/include/c++/12/bits/cxxabi_init_exception.h \
+ /usr/include/c++/12/bits/nested_exception.h /usr/include/c++/12/string \
  /usr/include/c++/12/bits/stringfwd.h \
  /usr/include/c++/12/bits/char_traits.h \
  /usr/include/c++/12/bits/postypes.h /usr/include/c++/12/cwchar \
@@ -138,10 +141,7 @@ src/gram/CMakeFiles/grid_gram.dir/client.cpp.o: \
  /usr/include/c++/12/bits/basic_string.tcc \
  /root/repo/src/gram/protocol.hpp /root/repo/src/gram/job.hpp \
  /root/repo/src/simkit/status.hpp /usr/include/c++/12/cassert \
- /usr/include/assert.h /usr/include/c++/12/optional \
- /usr/include/c++/12/exception /usr/include/c++/12/bits/exception_ptr.h \
- /usr/include/c++/12/bits/cxxabi_init_exception.h \
- /usr/include/c++/12/bits/nested_exception.h /usr/include/c++/12/utility \
+ /usr/include/assert.h /usr/include/c++/12/utility \
  /usr/include/c++/12/bits/stl_relops.h /root/repo/src/simkit/time.hpp \
  /root/repo/src/net/network.hpp /usr/include/c++/12/memory \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \
@@ -222,4 +222,4 @@ src/gram/CMakeFiles/grid_gram.dir/client.cpp.o: \
  /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
  /root/repo/src/simkit/rng.hpp /usr/include/c++/12/limits \
  /root/repo/src/gsi/protocol.hpp /root/repo/src/gsi/credential.hpp \
- /root/repo/src/net/rpc.hpp
+ /root/repo/src/net/rpc.hpp /root/repo/src/net/retry.hpp

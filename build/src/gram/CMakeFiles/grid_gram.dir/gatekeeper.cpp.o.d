@@ -221,10 +221,11 @@ src/gram/CMakeFiles/grid_gram.dir/gatekeeper.cpp.o: \
  /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
  /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
  /root/repo/src/simkit/rng.hpp /usr/include/c++/12/limits \
- /root/repo/src/net/rpc.hpp /root/repo/src/rsl/attributes.hpp \
- /root/repo/src/rsl/ast.hpp /root/repo/src/sched/scheduler.hpp \
- /root/repo/src/simkit/log.hpp /usr/include/c++/12/sstream \
- /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
+ /root/repo/src/net/rpc.hpp /root/repo/src/net/retry.hpp \
+ /root/repo/src/rsl/attributes.hpp /root/repo/src/rsl/ast.hpp \
+ /root/repo/src/sched/scheduler.hpp /root/repo/src/simkit/log.hpp \
+ /usr/include/c++/12/sstream /usr/include/c++/12/istream \
+ /usr/include/c++/12/bits/istream.tcc \
  /usr/include/c++/12/bits/sstream.tcc /root/repo/src/gram/nis.hpp \
  /root/repo/src/gram/protocol.hpp /root/repo/src/gsi/protocol.hpp \
  /root/repo/src/gsi/credential.hpp /root/repo/src/rsl/parser.hpp \

@@ -102,7 +102,10 @@ src/gram/CMakeFiles/grid_gram.dir/nis.cpp.o: /root/repo/src/gram/nis.cpp \
  /usr/include/x86_64-linux-gnu/bits/struct_rwlock.h /usr/include/alloca.h \
  /usr/include/x86_64-linux-gnu/bits/stdlib-bsearch.h \
  /usr/include/x86_64-linux-gnu/bits/stdlib-float.h \
- /usr/include/c++/12/bits/std_abs.h /usr/include/c++/12/string \
+ /usr/include/c++/12/bits/std_abs.h /usr/include/c++/12/optional \
+ /usr/include/c++/12/exception /usr/include/c++/12/bits/exception_ptr.h \
+ /usr/include/c++/12/bits/cxxabi_init_exception.h \
+ /usr/include/c++/12/bits/nested_exception.h /usr/include/c++/12/string \
  /usr/include/c++/12/bits/stringfwd.h \
  /usr/include/c++/12/bits/char_traits.h \
  /usr/include/c++/12/bits/postypes.h /usr/include/c++/12/cwchar \
@@ -139,16 +142,15 @@ src/gram/CMakeFiles/grid_gram.dir/nis.cpp.o: /root/repo/src/gram/nis.cpp \
  /usr/include/asm-generic/errno.h /usr/include/asm-generic/errno-base.h \
  /usr/include/x86_64-linux-gnu/bits/types/error_t.h \
  /usr/include/c++/12/bits/charconv.h \
- /usr/include/c++/12/bits/basic_string.tcc /root/repo/src/net/rpc.hpp \
+ /usr/include/c++/12/bits/basic_string.tcc /root/repo/src/net/retry.hpp \
+ /root/repo/src/simkit/rng.hpp /usr/include/c++/12/limits \
+ /root/repo/src/simkit/time.hpp /root/repo/src/net/rpc.hpp \
  /root/repo/src/net/network.hpp /usr/include/c++/12/memory \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \
  /usr/include/c++/12/bits/align.h /usr/include/c++/12/bit \
  /usr/include/c++/12/bits/unique_ptr.h /usr/include/c++/12/ostream \
- /usr/include/c++/12/ios /usr/include/c++/12/exception \
- /usr/include/c++/12/bits/exception_ptr.h \
- /usr/include/c++/12/bits/cxxabi_init_exception.h \
- /usr/include/c++/12/bits/nested_exception.h \
- /usr/include/c++/12/bits/ios_base.h /usr/include/c++/12/ext/atomicity.h \
+ /usr/include/c++/12/ios /usr/include/c++/12/bits/ios_base.h \
+ /usr/include/c++/12/ext/atomicity.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/gthr.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/gthr-default.h \
  /usr/include/pthread.h /usr/include/sched.h \
@@ -218,8 +220,6 @@ src/gram/CMakeFiles/grid_gram.dir/nis.cpp.o: /root/repo/src/gram/nis.cpp \
  /usr/include/c++/12/cstddef /usr/include/c++/12/cstring \
  /usr/include/string.h /usr/include/strings.h \
  /root/repo/src/simkit/engine.hpp /usr/include/c++/12/queue \
- /usr/include/c++/12/bits/stl_queue.h /root/repo/src/simkit/time.hpp \
- /root/repo/src/simkit/rng.hpp /usr/include/c++/12/limits \
- /root/repo/src/simkit/status.hpp /usr/include/c++/12/cassert \
- /usr/include/assert.h /usr/include/c++/12/optional \
+ /usr/include/c++/12/bits/stl_queue.h /root/repo/src/simkit/status.hpp \
+ /usr/include/c++/12/cassert /usr/include/assert.h \
  /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h

@@ -220,4 +220,5 @@ src/gsi/CMakeFiles/grid_gsi.dir/protocol.cpp.o: \
  /root/repo/src/simkit/engine.hpp /usr/include/c++/12/queue \
  /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
  /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
- /root/repo/src/simkit/rng.hpp /usr/include/c++/12/limits
+ /root/repo/src/simkit/rng.hpp /usr/include/c++/12/limits \
+ /root/repo/src/net/retry.hpp

@@ -222,7 +222,7 @@ src/info/CMakeFiles/grid_info.dir/broker.cpp.o: \
  /usr/include/c++/12/limits /root/repo/src/simkit/status.hpp \
  /usr/include/c++/12/cassert /usr/include/assert.h \
  /usr/include/c++/12/optional /usr/include/c++/12/utility \
- /usr/include/c++/12/bits/stl_relops.h \
+ /usr/include/c++/12/bits/stl_relops.h /root/repo/src/net/retry.hpp \
  /root/repo/src/sched/infoservice.hpp /root/repo/src/sched/scheduler.hpp \
  /root/repo/src/rsl/attributes.hpp /root/repo/src/rsl/ast.hpp \
  /root/repo/src/sched/predict.hpp /root/repo/src/sched/batch.hpp \

@@ -221,5 +221,5 @@ src/info/CMakeFiles/grid_info.dir/gis.cpp.o: /root/repo/src/info/gis.cpp \
  /usr/include/c++/12/limits /root/repo/src/simkit/status.hpp \
  /usr/include/c++/12/cassert /usr/include/assert.h \
  /usr/include/c++/12/optional /usr/include/c++/12/utility \
- /usr/include/c++/12/bits/stl_relops.h \
+ /usr/include/c++/12/bits/stl_relops.h /root/repo/src/net/retry.hpp \
  /root/repo/src/sched/infoservice.hpp /root/repo/src/sched/scheduler.hpp

@@ -9,6 +9,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/net/network.cpp" "src/net/CMakeFiles/grid_net.dir/network.cpp.o" "gcc" "src/net/CMakeFiles/grid_net.dir/network.cpp.o.d"
+  "/root/repo/src/net/retry.cpp" "src/net/CMakeFiles/grid_net.dir/retry.cpp.o" "gcc" "src/net/CMakeFiles/grid_net.dir/retry.cpp.o.d"
   "/root/repo/src/net/rpc.cpp" "src/net/CMakeFiles/grid_net.dir/rpc.cpp.o" "gcc" "src/net/CMakeFiles/grid_net.dir/rpc.cpp.o.d"
   )
 

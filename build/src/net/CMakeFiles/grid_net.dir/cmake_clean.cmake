@@ -1,6 +1,8 @@
 file(REMOVE_RECURSE
   "CMakeFiles/grid_net.dir/network.cpp.o"
   "CMakeFiles/grid_net.dir/network.cpp.o.d"
+  "CMakeFiles/grid_net.dir/retry.cpp.o"
+  "CMakeFiles/grid_net.dir/retry.cpp.o.d"
   "CMakeFiles/grid_net.dir/rpc.cpp.o"
   "CMakeFiles/grid_net.dir/rpc.cpp.o.d"
   "libgrid_net.a"

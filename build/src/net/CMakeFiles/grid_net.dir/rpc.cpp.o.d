@@ -220,4 +220,4 @@ src/net/CMakeFiles/grid_net.dir/rpc.cpp.o: /root/repo/src/net/rpc.cpp \
  /usr/include/c++/12/limits /root/repo/src/simkit/status.hpp \
  /usr/include/c++/12/cassert /usr/include/assert.h \
  /usr/include/c++/12/optional /usr/include/c++/12/utility \
- /usr/include/c++/12/bits/stl_relops.h
+ /usr/include/c++/12/bits/stl_relops.h /root/repo/src/net/retry.hpp

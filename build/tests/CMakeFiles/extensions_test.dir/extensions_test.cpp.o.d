@@ -306,11 +306,11 @@ tests/CMakeFiles/extensions_test.dir/extensions_test.cpp.o: \
  /root/repo/src/simkit/rng.hpp /root/repo/src/gram/job.hpp \
  /root/repo/src/gram/client.hpp /root/repo/src/gram/protocol.hpp \
  /root/repo/src/gsi/protocol.hpp /root/repo/src/gsi/credential.hpp \
- /root/repo/src/net/rpc.hpp /root/repo/src/rsl/attributes.hpp \
- /root/repo/src/rsl/ast.hpp /root/repo/src/simkit/log.hpp \
- /root/repo/src/core/monitor.hpp /root/repo/src/core/strategies.hpp \
- /root/repo/src/rsl/alternatives.hpp /root/repo/src/rsl/parser.hpp \
- /root/repo/src/sched/coreservation.hpp \
+ /root/repo/src/net/rpc.hpp /root/repo/src/net/retry.hpp \
+ /root/repo/src/rsl/attributes.hpp /root/repo/src/rsl/ast.hpp \
+ /root/repo/src/simkit/log.hpp /root/repo/src/core/monitor.hpp \
+ /root/repo/src/core/strategies.hpp /root/repo/src/rsl/alternatives.hpp \
+ /root/repo/src/rsl/parser.hpp /root/repo/src/sched/coreservation.hpp \
  /root/repo/src/sched/reservation.hpp /root/repo/src/sched/scheduler.hpp \
  /root/repo/tests/test_util.hpp /root/repo/src/app/behaviors.hpp \
  /root/repo/src/core/app_barrier.hpp /root/repo/src/gram/process.hpp \

@@ -304,7 +304,8 @@ tests/CMakeFiles/fuzz_property_test.dir/fuzz_property_test.cpp.o: \
  /usr/include/c++/12/queue /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
  /usr/include/c++/12/bits/stl_queue.h /root/repo/src/simkit/rng.hpp \
- /root/repo/src/net/rpc.hpp /root/repo/src/core/app_barrier.hpp \
+ /root/repo/src/net/rpc.hpp /root/repo/src/net/retry.hpp \
+ /root/repo/src/core/app_barrier.hpp \
  /root/repo/src/core/barrier_protocol.hpp /root/repo/src/gram/job.hpp \
  /root/repo/src/gram/process.hpp /root/repo/src/rsl/editor.hpp \
  /root/repo/src/rsl/attributes.hpp /root/repo/src/rsl/ast.hpp \
@@ -314,9 +315,9 @@ tests/CMakeFiles/fuzz_property_test.dir/fuzz_property_test.cpp.o: \
  /root/repo/src/core/request.hpp /root/repo/src/gram/client.hpp \
  /root/repo/src/gram/protocol.hpp /root/repo/src/gsi/protocol.hpp \
  /root/repo/src/gsi/credential.hpp /root/repo/src/simkit/log.hpp \
- /root/repo/src/core/grab.hpp /root/repo/src/testbed/grid.hpp \
- /root/repo/src/gram/gatekeeper.hpp /root/repo/src/gram/jobmanager.hpp \
- /root/repo/src/sched/scheduler.hpp /root/repo/src/gram/nis.hpp \
- /root/repo/src/sched/batch.hpp /root/repo/src/sched/fork.hpp \
- /root/repo/src/sched/reservation.hpp \
+ /root/repo/src/core/monitor.hpp /root/repo/src/core/grab.hpp \
+ /root/repo/src/testbed/grid.hpp /root/repo/src/gram/gatekeeper.hpp \
+ /root/repo/src/gram/jobmanager.hpp /root/repo/src/sched/scheduler.hpp \
+ /root/repo/src/gram/nis.hpp /root/repo/src/sched/batch.hpp \
+ /root/repo/src/sched/fork.hpp /root/repo/src/sched/reservation.hpp \
  /root/repo/src/testbed/costmodel.hpp

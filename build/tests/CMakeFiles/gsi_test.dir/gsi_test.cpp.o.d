@@ -301,4 +301,4 @@ tests/CMakeFiles/gsi_test.dir/gsi_test.cpp.o: \
  /root/repo/src/simkit/engine.hpp /usr/include/c++/12/queue \
  /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
  /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
- /root/repo/src/simkit/rng.hpp
+ /root/repo/src/simkit/rng.hpp /root/repo/src/net/retry.hpp

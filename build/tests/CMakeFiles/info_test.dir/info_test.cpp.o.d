@@ -302,11 +302,11 @@ tests/CMakeFiles/info_test.dir/info_test.cpp.o: \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
  /usr/include/c++/12/bits/stl_queue.h /root/repo/src/simkit/time.hpp \
  /root/repo/src/simkit/rng.hpp /root/repo/src/simkit/status.hpp \
- /root/repo/src/sched/infoservice.hpp /root/repo/src/sched/scheduler.hpp \
- /root/repo/src/rsl/attributes.hpp /root/repo/src/rsl/ast.hpp \
- /root/repo/src/sched/predict.hpp /root/repo/src/sched/batch.hpp \
- /root/repo/tests/test_util.hpp /root/repo/src/app/behaviors.hpp \
- /root/repo/src/core/app_barrier.hpp \
+ /root/repo/src/net/retry.hpp /root/repo/src/sched/infoservice.hpp \
+ /root/repo/src/sched/scheduler.hpp /root/repo/src/rsl/attributes.hpp \
+ /root/repo/src/rsl/ast.hpp /root/repo/src/sched/predict.hpp \
+ /root/repo/src/sched/batch.hpp /root/repo/tests/test_util.hpp \
+ /root/repo/src/app/behaviors.hpp /root/repo/src/core/app_barrier.hpp \
  /root/repo/src/core/barrier_protocol.hpp /root/repo/src/core/runtime.hpp \
  /root/repo/src/core/types.hpp /root/repo/src/gram/job.hpp \
  /root/repo/src/gram/process.hpp /root/repo/src/simkit/stats.hpp \
@@ -314,8 +314,8 @@ tests/CMakeFiles/info_test.dir/info_test.cpp.o: \
  /root/repo/src/core/request.hpp /root/repo/src/gram/client.hpp \
  /root/repo/src/gram/protocol.hpp /root/repo/src/gsi/protocol.hpp \
  /root/repo/src/gsi/credential.hpp /root/repo/src/simkit/log.hpp \
- /root/repo/src/core/grab.hpp /root/repo/src/testbed/grid.hpp \
- /root/repo/src/gram/gatekeeper.hpp /root/repo/src/gram/jobmanager.hpp \
- /root/repo/src/gram/nis.hpp /root/repo/src/sched/fork.hpp \
- /root/repo/src/sched/reservation.hpp \
+ /root/repo/src/core/monitor.hpp /root/repo/src/core/grab.hpp \
+ /root/repo/src/testbed/grid.hpp /root/repo/src/gram/gatekeeper.hpp \
+ /root/repo/src/gram/jobmanager.hpp /root/repo/src/gram/nis.hpp \
+ /root/repo/src/sched/fork.hpp /root/repo/src/sched/reservation.hpp \
  /root/repo/src/testbed/costmodel.hpp

@@ -309,13 +309,14 @@ tests/CMakeFiles/integration_test.dir/integration_test.cpp.o: \
  /root/repo/src/gram/job.hpp /root/repo/src/gram/client.hpp \
  /root/repo/src/gram/protocol.hpp /root/repo/src/gsi/protocol.hpp \
  /root/repo/src/gsi/credential.hpp /root/repo/src/net/rpc.hpp \
- /root/repo/src/rsl/attributes.hpp /root/repo/src/rsl/ast.hpp \
- /root/repo/src/simkit/log.hpp /root/repo/src/rsl/alternatives.hpp \
- /root/repo/src/sched/infoservice.hpp /root/repo/src/sched/scheduler.hpp \
- /root/repo/src/sched/predict.hpp /root/repo/src/sched/batch.hpp \
- /root/repo/tests/test_util.hpp /root/repo/src/app/behaviors.hpp \
- /root/repo/src/core/app_barrier.hpp /root/repo/src/gram/process.hpp \
- /root/repo/src/simkit/stats.hpp /root/repo/src/core/duroc.hpp \
+ /root/repo/src/net/retry.hpp /root/repo/src/rsl/attributes.hpp \
+ /root/repo/src/rsl/ast.hpp /root/repo/src/simkit/log.hpp \
+ /root/repo/src/rsl/alternatives.hpp /root/repo/src/sched/infoservice.hpp \
+ /root/repo/src/sched/scheduler.hpp /root/repo/src/sched/predict.hpp \
+ /root/repo/src/sched/batch.hpp /root/repo/tests/test_util.hpp \
+ /root/repo/src/app/behaviors.hpp /root/repo/src/core/app_barrier.hpp \
+ /root/repo/src/gram/process.hpp /root/repo/src/simkit/stats.hpp \
+ /root/repo/src/core/duroc.hpp /root/repo/src/core/monitor.hpp \
  /root/repo/src/core/grab.hpp /root/repo/src/testbed/grid.hpp \
  /root/repo/src/gram/gatekeeper.hpp /root/repo/src/gram/jobmanager.hpp \
  /root/repo/src/gram/nis.hpp /root/repo/src/sched/fork.hpp \

@@ -293,11 +293,12 @@ tests/CMakeFiles/net_test.dir/net_test.cpp.o: \
  /root/miniconda/include/gtest/gtest_prod.h \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
- /root/repo/src/net/network.hpp /usr/include/c++/12/unordered_set \
+ /root/repo/src/app/failure.hpp /root/repo/src/net/network.hpp \
+ /usr/include/c++/12/unordered_set \
  /usr/include/c++/12/bits/unordered_set.h /root/repo/src/simkit/codec.hpp \
  /usr/include/c++/12/cstring /root/repo/src/simkit/engine.hpp \
  /usr/include/c++/12/queue /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
  /usr/include/c++/12/bits/stl_queue.h /root/repo/src/simkit/time.hpp \
  /root/repo/src/simkit/rng.hpp /root/repo/src/simkit/status.hpp \
- /root/repo/src/net/rpc.hpp
+ /root/repo/src/net/rpc.hpp /root/repo/src/net/retry.hpp

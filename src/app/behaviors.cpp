@@ -64,6 +64,7 @@ void CoallocatedProcess::start(gram::ProcessApi& api) {
 
 void CoallocatedProcess::enter_barrier(bool ok, const std::string& message) {
   barrier_ = std::make_unique<core::BarrierClient>(*api_);
+  barrier_->set_checkin_resend(profile_.checkin_resend);
   if (!barrier_->configured()) {
     // Started directly under GRAM (no co-allocator): behave as a plain job.
     if (!ok) {

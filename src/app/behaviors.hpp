@@ -46,6 +46,11 @@ struct StartupProfile {
   /// `failure_probability` a *per-subjob* (per-machine) failure rate — the
   /// paper's failure unit — rather than per-process.
   bool failure_per_job = false;
+  /// When > 0 the barrier check-in is re-sent on this period until release
+  /// or abort (BarrierClient::set_checkin_resend), protecting the one
+  /// unacknowledged protocol step against message loss.  Default off so
+  /// loss-free experiments keep their exact message counts.
+  sim::Time checkin_resend = 0;
 };
 
 /// One process's recorded barrier timings.

@@ -6,6 +6,8 @@
 // property tests that assert the co-allocators' invariants under fire.
 #pragma once
 
+#include <memory>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -16,7 +18,9 @@ namespace grid::app {
 
 class FailureInjector {
  public:
-  explicit FailureInjector(net::Network& network) : network_(&network) {}
+  explicit FailureInjector(net::Network& network)
+      : network_(&network),
+        lossy_active_(std::make_shared<std::multiset<double>>()) {}
 
   /// Crashes a node at `at`; it stays down until restored.
   void crash_at(net::NodeId node, sim::Time at);
@@ -29,13 +33,33 @@ class FailureInjector {
                          sim::Time until);
 
   /// Applies i.i.d. message loss probability `p` during [from, until).
+  /// Windows may overlap or nest: at any instant the network sees the
+  /// maximum loss probability among the active windows, and the end of one
+  /// window never cancels another that is still open.
   void lossy_window(double p, sim::Time from, sim::Time until);
+
+  /// Link flapping: the pair is alternately partitioned and healed every
+  /// `period` during [from, until), starting partitioned; the link is
+  /// guaranteed healed at `until`.  Models the intermittent-connectivity
+  /// failure mode that defeats single-shot liveness checks.
+  void flap_link(net::NodeId a, net::NodeId b, sim::Time from, sim::Time until,
+                 sim::Time period);
+
+  /// Slow-node latency spike: every message to or from `node` takes an
+  /// extra `extra` during [from, until) — the "overloaded system" of §2
+  /// that is slow rather than dead, the case a failure detector must NOT
+  /// flag while timeouts still expire.
+  void slow_node(net::NodeId node, sim::Time extra, sim::Time from,
+                 sim::Time until);
 
   std::size_t injected_events() const { return injected_; }
 
  private:
   net::Network* network_;
   std::size_t injected_ = 0;
+  /// Loss probabilities of currently-open windows; shared with the
+  /// scheduled open/close lambdas so they outlive the injector.
+  std::shared_ptr<std::multiset<double>> lossy_active_;
 };
 
 }  // namespace grid::app

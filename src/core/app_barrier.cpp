@@ -33,6 +33,8 @@ BarrierClient::BarrierClient(gram::ProcessApi& api)
         if (!payload.ok() || msg.request != request_) return;
         if (released_at_ >= 0) return;  // duplicate release
         released_at_ = endpoint_.engine().now();
+        settled_ = true;
+        endpoint_.engine().cancel(resend_event_);
         if (on_release_) {
           auto cb = std::move(on_release_);
           on_abort_ = nullptr;
@@ -43,12 +45,18 @@ BarrierClient::BarrierClient(gram::ProcessApi& api)
       kNotifyAbort, [this](net::NodeId, util::Reader& payload) {
         AbortMessage msg = AbortMessage::decode(payload);
         if (!payload.ok() || msg.request != request_) return;
+        settled_ = true;
+        endpoint_.engine().cancel(resend_event_);
         if (on_abort_) {
           auto cb = std::move(on_abort_);
           on_release_ = nullptr;
           cb(msg.reason);
         }
       });
+}
+
+BarrierClient::~BarrierClient() {
+  endpoint_.engine().cancel(resend_event_);
 }
 
 void BarrierClient::enter(bool ok, const std::string& message,
@@ -65,7 +73,18 @@ void BarrierClient::enter(bool ok, const std::string& message,
   msg.message = message;
   util::Writer w;
   msg.encode(w);
-  endpoint_.notify(contact_, kNotifyCheckin, w.take());
+  checkin_payload_ = w.take();
+  send_checkin();
+}
+
+void BarrierClient::send_checkin() {
+  if (settled_) return;
+  ++checkins_sent_;
+  endpoint_.notify(contact_, kNotifyCheckin, util::Bytes(checkin_payload_));
+  if (resend_period_ > 0) {
+    resend_event_ = endpoint_.engine().schedule_after(
+        resend_period_, [this] { send_checkin(); });
+  }
 }
 
 }  // namespace grid::core

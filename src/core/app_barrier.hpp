@@ -27,6 +27,7 @@ class BarrierClient {
   /// Reads GRID_DUROC_* from the process environment and opens the
   /// process's endpoint.  `api` must outlive the client.
   explicit BarrierClient(gram::ProcessApi& api);
+  ~BarrierClient();
 
   /// True when the process was started under a co-allocator (the contact
   /// environment is present and well-formed).
@@ -42,6 +43,17 @@ class BarrierClient {
   void enter(bool ok, const std::string& message, ReleaseFn on_release,
              AbortFn on_abort);
 
+  /// Arms periodic re-transmission of the check-in (period > 0; call
+  /// before enter()).  The check-in notify is the one unacknowledged step
+  /// of the barrier protocol, so on a lossy network a single lost message
+  /// stalls the whole barrier until the startup deadline; re-sending makes
+  /// it reliable.  The co-allocator deduplicates by rank, so duplicates
+  /// are harmless.  Re-sending stops at release or abort.
+  void set_checkin_resend(sim::Time period) { resend_period_ = period; }
+
+  /// Check-in transmissions, first send included.
+  std::uint64_t checkins_sent() const { return checkins_sent_; }
+
   /// The process's network endpoint (usable for application communication
   /// after release, e.g. by the gridmpi runtime).
   net::Endpoint& endpoint() { return endpoint_; }
@@ -51,6 +63,8 @@ class BarrierClient {
   bool released() const { return released_at_ >= 0; }
 
  private:
+  void send_checkin();
+
   gram::ProcessApi* api_;
   net::Endpoint endpoint_;
   net::NodeId contact_ = net::kInvalidNode;
@@ -60,6 +74,11 @@ class BarrierClient {
   sim::Time released_at_ = -1;
   ReleaseFn on_release_;
   AbortFn on_abort_;
+  sim::Time resend_period_ = 0;
+  util::Bytes checkin_payload_;
+  sim::EventId resend_event_;
+  std::uint64_t checkins_sent_ = 0;
+  bool settled_ = false;  // release or abort observed: stop re-sending
 };
 
 }  // namespace grid::core

@@ -18,8 +18,11 @@
 //   req->commit();
 #pragma once
 
+#include <memory>
+
 #include "core/app_barrier.hpp"
 #include "core/coallocator.hpp"
+#include "core/monitor.hpp"
 #include "core/request.hpp"
 
 namespace grid::core {
@@ -42,6 +45,18 @@ class DurocAllocator {
     return mech_->find_request(id);
   }
   void destroy_request(RequestId id) { mech_->destroy_request(id); }
+
+  /// Attaches a started heartbeat failure detector to a request; the
+  /// caller owns it (keep it alive as long as monitoring is wanted — it is
+  /// safe to hold past the request's destruction).  Verdicts flow through
+  /// the ordinary §3.2 category semantics: required deaths abort, optional
+  /// deaths after release degrade the ensemble and let it continue.
+  std::unique_ptr<HeartbeatDetector> watch(RequestId id,
+                                           HeartbeatConfig config = {}) {
+    auto detector = std::make_unique<HeartbeatDetector>(*mech_, id, config);
+    detector->start();
+    return detector;
+  }
 
   Coallocator& mechanisms() { return *mech_; }
 

@@ -37,6 +37,15 @@ util::Result<RequestId> GrabAllocator::allocate(
     }
   }
   const RequestId id = request->id();
+  if (heartbeats_.has_value()) {
+    // Armed before start() so the first beat can fire as soon as a subjob
+    // is accepted.  The detector resolves the request by id each tick and
+    // stops itself once the transaction reaches a terminal state.
+    auto detector =
+        std::make_unique<HeartbeatDetector>(*mech_, id, *heartbeats_);
+    detector->start();
+    detectors_[id] = std::move(detector);
+  }
   request->start();
   // No editing window: commit immediately; the request releases iff every
   // subjob checks in, and any failure aborts everything.
@@ -45,6 +54,9 @@ util::Result<RequestId> GrabAllocator::allocate(
 }
 
 void GrabAllocator::cancel(RequestId id) {
+  if (auto it = detectors_.find(id); it != detectors_.end()) {
+    it->second->stop();
+  }
   if (CoallocationRequest* request = mech_->find_request(id)) {
     request->kill();
   }

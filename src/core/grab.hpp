@@ -12,11 +12,14 @@
 // (§4.3) are what motivated DUROC.
 #pragma once
 
+#include <memory>
 #include <optional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "core/coallocator.hpp"
+#include "core/monitor.hpp"
 
 namespace grid::core {
 
@@ -47,10 +50,28 @@ class GrabAllocator {
   /// Rolls back / kills an allocation.
   void cancel(RequestId id);
 
+  /// Arms heartbeat failure detection on subsequently allocated requests.
+  /// Since every GRAB subjob is required, a dead verdict aborts the whole
+  /// transaction immediately ("abort fast") instead of waiting out the
+  /// startup deadline — atomicity is preserved, only detection latency
+  /// changes.  nullopt disables for later allocations.
+  void set_heartbeats(std::optional<HeartbeatConfig> config) {
+    heartbeats_ = config;
+  }
+
+  /// The detector watching `id`; nullptr when heartbeats were not armed.
+  const HeartbeatDetector* detector(RequestId id) const {
+    auto it = detectors_.find(id);
+    return it == detectors_.end() ? nullptr : it->second.get();
+  }
+
   Coallocator& mechanisms() { return *mech_; }
 
  private:
   Coallocator* mech_;
+  std::optional<HeartbeatConfig> heartbeats_;
+  std::unordered_map<RequestId, std::unique_ptr<HeartbeatDetector>>
+      detectors_;
 };
 
 }  // namespace grid::core

@@ -91,4 +91,127 @@ EnsembleMonitor::Summary EnsembleMonitor::summary() const {
   return s;
 }
 
+// ---- heartbeat failure detection -------------------------------------------
+
+std::string to_string(SubjobHealth h) {
+  switch (h) {
+    case SubjobHealth::kHealthy:
+      return "HEALTHY";
+    case SubjobHealth::kSuspect:
+      return "SUSPECT";
+    case SubjobHealth::kDead:
+      return "DEAD";
+  }
+  return "?";
+}
+
+HeartbeatDetector::HeartbeatDetector(Coallocator& mechanisms,
+                                     RequestId request, HeartbeatConfig config)
+    : mech_(&mechanisms),
+      request_(request),
+      config_(config),
+      alive_(std::make_shared<bool>(true)) {}
+
+HeartbeatDetector::~HeartbeatDetector() {
+  *alive_ = false;
+  mech_->engine().cancel(tick_event_);
+}
+
+void HeartbeatDetector::start() {
+  if (running_) return;
+  running_ = true;
+  tick();
+}
+
+void HeartbeatDetector::stop() {
+  running_ = false;
+  mech_->engine().cancel(tick_event_);
+}
+
+SubjobHealth HeartbeatDetector::health(SubjobHandle handle) const {
+  auto it = watches_.find(handle);
+  return it == watches_.end() ? SubjobHealth::kHealthy : it->second.health;
+}
+
+void HeartbeatDetector::tick() {
+  if (!running_) return;
+  CoallocationRequest* req = mech_->find_request(request_);
+  if (req == nullptr || is_request_terminal(req->state())) {
+    stop();
+    return;
+  }
+  for (SubjobHandle h : req->subjobs()) {
+    auto view = req->subjob(h);
+    if (!view.is_ok()) continue;
+    const SubjobView& v = view.value();
+    const bool watchable =
+        v.gram_job != 0 && v.gatekeeper != net::kInvalidNode &&
+        (v.state == SubjobState::kPending || v.state == SubjobState::kActive ||
+         v.state == SubjobState::kCheckedIn ||
+         (config_.monitor_released && v.state == SubjobState::kReleased));
+    if (!watchable) continue;
+    Watch& w = watches_[h];
+    if (w.job != v.gram_job) w = Watch{v.gram_job};  // substituted: fresh slate
+    if (w.health == SubjobHealth::kDead) continue;   // verdict already out
+    if (w.in_flight) continue;  // previous beat still pending; let it miss
+    beat(h, v.gatekeeper, v.gram_job);
+  }
+  tick_event_ = mech_->engine().schedule_after(
+      config_.interval, [this, alive = alive_] {
+        if (*alive) tick();
+      });
+}
+
+void HeartbeatDetector::beat(SubjobHandle handle, net::NodeId gatekeeper,
+                             gram::JobId job) {
+  ++beats_sent_;
+  watches_[handle].in_flight = true;
+  // Raw single-attempt ping: a beat the RPC layer silently retried would
+  // hide exactly the misses this detector exists to count.
+  mech_->endpoint().call(
+      gatekeeper, gram::kMethodPing, {}, config_.beat_timeout,
+      [this, alive = alive_, handle, job](const util::Status& status,
+                                          util::Reader&) {
+        if (!*alive) return;
+        auto it = watches_.find(handle);
+        if (it == watches_.end() || it->second.job != job) return;  // stale
+        Watch& w = it->second;
+        w.in_flight = false;
+        if (w.health == SubjobHealth::kDead) return;
+        if (status.is_ok()) {
+          ++beats_answered_;
+          w.misses = 0;
+          if (w.health == SubjobHealth::kSuspect) {
+            transition(handle, w, SubjobHealth::kHealthy, util::Status::ok());
+          }
+          return;
+        }
+        ++beats_missed_;
+        ++w.misses;
+        if (w.misses >= config_.misses_to_dead) {
+          const util::Status why(
+              util::ErrorCode::kUnavailable,
+              "heartbeat detector: " + std::to_string(w.misses) +
+                  " consecutive beats unanswered");
+          transition(handle, w, SubjobHealth::kDead, why);
+          ++verdicts_;
+          CoallocationRequest* req = mech_->find_request(request_);
+          if (req != nullptr && !is_request_terminal(req->state())) {
+            req->report_subjob_failure(handle, why);
+          }
+        } else if (w.misses >= config_.misses_to_suspect &&
+                   w.health == SubjobHealth::kHealthy) {
+          transition(handle, w, SubjobHealth::kSuspect,
+                     util::Status(util::ErrorCode::kUnavailable,
+                                  "heartbeat missed"));
+        }
+      });
+}
+
+void HeartbeatDetector::transition(SubjobHandle handle, Watch& w,
+                                   SubjobHealth to, const util::Status& why) {
+  w.health = to;
+  if (on_health_) on_health_(handle, to, why);
+}
+
 }  // namespace grid::core

@@ -36,9 +36,13 @@ CoallocationRequest::CoallocationRequest(Coallocator& owner, RequestId id,
       log_(owner.engine(), "coalloc/req" + std::to_string(id)) {}
 
 CoallocationRequest::~CoallocationRequest() {
+  *alive_ = false;
   for (auto& [handle, sj] : slots_) {
     owner_->engine().cancel(sj.timeout_event);
     owner_->engine().cancel(sj.probe_event);
+    // Unregister the state watcher so late notifies from the job manager
+    // don't fire into a destroyed request.
+    if (sj.gram_job != 0) owner_->gram().forget(sj.gram_job);
   }
 }
 
@@ -194,12 +198,25 @@ void CoallocationRequest::pump_submissions() {
     submission_in_flight_ = true;
     owner_->gram().submit(
         sj->gatekeeper, to_send.to_spec().to_string(), config_.rpc_timeout,
-        [this, handle, inc](util::Result<gram::JobId> result) {
+        [this, handle, inc, alive = alive_, client = &owner_->gram(),
+         gatekeeper = sj->gatekeeper,
+         timeout = config_.rpc_timeout](util::Result<gram::JobId> result) {
+          if (!*alive) {
+            // The request was destroyed while the submit was in flight; any
+            // job that did get created is an orphan — reap it.
+            if (result.is_ok()) {
+              client->forget(result.value());
+              client->cancel(gatekeeper, result.value(), timeout, nullptr);
+            }
+            return;
+          }
           submission_in_flight_ = false;
           on_accepted(handle, inc, std::move(result));
           pump_submissions();
         },
-        [this, handle, inc](const gram::JobStateChange& change) {
+        [this, handle, inc,
+         alive = alive_](const gram::JobStateChange& change) {
+          if (!*alive) return;
           on_gram_state(handle, inc, change);
         });
     return;  // one submission at a time
@@ -511,7 +528,8 @@ void CoallocationRequest::probe_liveness(SubjobHandle handle,
   }
   owner_->gram().ping(
       sj->gatekeeper, config_.rpc_timeout,
-      [this, handle, incarnation](util::Status status) {
+      [this, handle, incarnation, alive = alive_](util::Status status) {
+        if (!*alive) return;
         Subjob* s = find(handle);
         if (s == nullptr || s->incarnation != incarnation ||
             is_request_terminal(state_) ||
@@ -678,6 +696,7 @@ util::Result<SubjobView> CoallocationRequest::subjob(
   v.count = sj->request.count;
   v.checked_in = sj->checked_count;
   v.gram_job = sj->gram_job;
+  v.gatekeeper = sj->gatekeeper;
   v.failure = sj->failure;
   v.submitted_at = sj->submitted_at;
   v.accepted_at = sj->accepted_at;

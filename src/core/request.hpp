@@ -82,6 +82,7 @@ struct SubjobView {
   std::int32_t count = 0;
   std::int32_t checked_in = 0;
   gram::JobId gram_job = 0;
+  net::NodeId gatekeeper = net::kInvalidNode;
   util::Status failure;
   sim::Time submitted_at = -1;
   sim::Time accepted_at = -1;
@@ -149,6 +150,14 @@ class CoallocationRequest {
 
   /// Control operation (§3.4): kills the ensemble, valid in any phase.
   void kill() { abort("killed by control operation"); }
+
+  /// External failure verdict (e.g. from a heartbeat detector): fails the
+  /// subjob with the category semantics of §3.2, exactly as an internally
+  /// observed GRAM failure would.  No-op on unknown or already-terminal
+  /// slots, so a late verdict against an edited slot is harmless.
+  void report_subjob_failure(SubjobHandle handle, util::Status why) {
+    fail_subjob(handle, std::move(why));
+  }
 
   // ---- monitoring (§3.4) --------------------------------------------------
 
@@ -245,6 +254,10 @@ class CoallocationRequest {
   SubjobHandle next_handle_ = 1;
   RuntimeConfig config_table_;
   sim::Time released_at_ = -1;
+  /// Cleared by the destructor; captured by callbacks handed to the gram
+  /// client (submit accept, state notify, liveness ping), which can outlive
+  /// the request when it is destroyed mid-flight.
+  std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
 };
 
 }  // namespace grid::core

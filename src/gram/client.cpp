@@ -12,9 +12,73 @@ Client::Client(net::Endpoint& endpoint, const gsi::CertificateAuthority& ca,
       });
 }
 
+struct Client::AuthRetryState {
+  net::NodeId gatekeeper;
+  sim::Time timeout;
+  sim::Time started;
+  net::RetrySchedule schedule;
+  gsi::ClientContext::DoneFn done;
+};
+
+void Client::authenticate_with_retry(net::NodeId gatekeeper, sim::Time timeout,
+                                     gsi::ClientContext::DoneFn on_done) {
+  if (!retry_.has_value()) {
+    gsi_.authenticate(gatekeeper, timeout, std::move(on_done));
+    return;
+  }
+  auto state = std::make_shared<AuthRetryState>(AuthRetryState{
+      gatekeeper, timeout, endpoint_->engine().now(),
+      net::RetrySchedule(*retry_, next_auth_stream_++), std::move(on_done)});
+  auth_attempt(std::move(state), 1);
+}
+
+void Client::auth_attempt(std::shared_ptr<AuthRetryState> state, int n) {
+  AuthRetryState* s = state.get();
+  gsi_.authenticate(
+      s->gatekeeper, s->timeout,
+      [this, state = std::move(state),
+       n](util::Result<gsi::Session> session) mutable {
+        const net::RetryPolicy& policy = state->schedule.policy();
+        if (session.is_ok() ||
+            session.status().code() != util::ErrorCode::kTimeout ||
+            n >= policy.max_attempts) {
+          state->done(std::move(session));
+          return;
+        }
+        const sim::Time backoff = state->schedule.backoff_before(n + 1);
+        if (policy.overall_deadline > 0 &&
+            endpoint_->engine().now() + backoff >=
+                state->started + policy.overall_deadline) {
+          state->done(std::move(session));
+          return;
+        }
+        ++auth_retries_;
+        endpoint_->engine().schedule_after(
+            backoff, [this, state = std::move(state), n]() mutable {
+              auth_attempt(std::move(state), n + 1);
+            });
+      });
+}
+
+void Client::idempotent_call(net::NodeId dst, std::uint32_t method,
+                             util::Bytes args, sim::Time timeout,
+                             net::Endpoint::ResponseFn on_response) {
+  if (retry_.has_value()) {
+    net::RetryPolicy policy = *retry_;
+    if (policy.attempt_timeout <= 0) policy.attempt_timeout = timeout;
+    endpoint_->retrying_call(dst, method, std::move(args), policy,
+                             std::move(on_response));
+  } else {
+    endpoint_->call(dst, method, std::move(args), timeout,
+                    std::move(on_response));
+  }
+}
+
 void Client::submit(net::NodeId gatekeeper, std::string rsl, sim::Time timeout,
                     AcceptedFn on_accepted, StateFn on_state) {
-  gsi_.authenticate(
+  // Pre-ack phase (handshake) retries; the job-request RPC below is
+  // deliberately one-shot — see set_retry_policy().
+  authenticate_with_retry(
       gatekeeper, timeout,
       [this, gatekeeper, rsl = std::move(rsl), timeout,
        on_accepted = std::move(on_accepted),
@@ -79,7 +143,7 @@ void Client::cancel(net::NodeId gatekeeper, JobId job, sim::Time timeout,
                     DoneFn on_done) {
   util::Writer w;
   w.u64(job);
-  endpoint_->call(gatekeeper, kMethodJobCancel, w.take(), timeout,
+  idempotent_call(gatekeeper, kMethodJobCancel, w.take(), timeout,
                   [on_done = std::move(on_done)](const util::Status& status,
                                                  util::Reader&) {
                     if (on_done) on_done(status);
@@ -90,7 +154,7 @@ void Client::status(net::NodeId gatekeeper, JobId job, sim::Time timeout,
                     std::function<void(util::Result<JobState>)> on_done) {
   util::Writer w;
   w.u64(job);
-  endpoint_->call(gatekeeper, kMethodJobStatus, w.take(), timeout,
+  idempotent_call(gatekeeper, kMethodJobStatus, w.take(), timeout,
                   [on_done = std::move(on_done)](const util::Status& status,
                                                  util::Reader& reply) {
                     if (!status.is_ok()) {
@@ -108,7 +172,7 @@ void Client::status(net::NodeId gatekeeper, JobId job, sim::Time timeout,
 }
 
 void Client::ping(net::NodeId gatekeeper, sim::Time timeout, DoneFn on_done) {
-  endpoint_->call(gatekeeper, kMethodPing, {}, timeout,
+  idempotent_call(gatekeeper, kMethodPing, {}, timeout,
                   [on_done = std::move(on_done)](const util::Status& status,
                                                  util::Reader&) {
                     if (on_done) on_done(status);
@@ -119,7 +183,7 @@ void Client::reserve(
     net::NodeId gatekeeper, sim::Time start, sim::Time end,
     std::int32_t count, sim::Time timeout,
     std::function<void(util::Result<ReservationHandle>)> on_done) {
-  gsi_.authenticate(
+  authenticate_with_retry(
       gatekeeper, timeout,
       [this, gatekeeper, start, end, count, timeout,
        on_done = std::move(on_done)](util::Result<gsi::Session> session) {
@@ -161,7 +225,7 @@ void Client::cancel_reservation(net::NodeId gatekeeper,
                                 DoneFn on_done) {
   util::Writer w;
   w.u64(reservation);
-  endpoint_->call(gatekeeper, kMethodReserveCancel, w.take(), timeout,
+  idempotent_call(gatekeeper, kMethodReserveCancel, w.take(), timeout,
                   [on_done = std::move(on_done)](const util::Status& status,
                                                  util::Reader&) {
                     if (on_done) on_done(status);

@@ -9,12 +9,14 @@
 
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "gram/protocol.hpp"
 #include "gsi/protocol.hpp"
+#include "net/retry.hpp"
 #include "net/rpc.hpp"
 #include "simkit/status.hpp"
 
@@ -30,6 +32,22 @@ class Client {
   using AcceptedFn = std::function<void(util::Result<JobId>)>;
   using StateFn = std::function<void(const JobStateChange&)>;
   using DoneFn = std::function<void(util::Status)>;
+
+  /// Opts this client into fault-tolerant RPC.  Idempotent verbs (ping,
+  /// status, cancel, reservation cancel) are re-issued on timeout per
+  /// `policy`; submit() and reserve() retry only their pre-ack phase (the
+  /// GSI handshake) — the job-request / reserve RPC itself is never
+  /// re-sent, since a retry after a lost *accept reply* would allocate a
+  /// second job or window on the server.  nullopt restores one-shot calls.
+  void set_retry_policy(std::optional<net::RetryPolicy> policy) {
+    retry_ = policy;
+  }
+  const std::optional<net::RetryPolicy>& retry_policy() const {
+    return retry_;
+  }
+
+  /// Pre-ack (GSI handshake) retries performed by submit()/reserve().
+  std::uint64_t auth_retries() const { return auth_retries_; }
 
   /// Submits `rsl` (a '&' conjunction fragment) to the gatekeeper.
   /// `on_accepted` fires once with the job id or an error; `on_state`
@@ -74,9 +92,25 @@ class Client {
 
  private:
   void on_state_notify(net::NodeId src, util::Reader& payload);
+  /// Runs the GSI handshake, re-trying whole handshakes on timeout when a
+  /// retry policy is installed (the handshake is idempotent: an abandoned
+  /// half-open exchange only leaves server-side state that expires).
+  void authenticate_with_retry(net::NodeId gatekeeper, sim::Time timeout,
+                               gsi::ClientContext::DoneFn on_done);
+  /// One handshake attempt of the retry loop; continuations share `state`
+  /// (a plain data holder, so no closure cycle keeps it alive forever).
+  struct AuthRetryState;
+  void auth_attempt(std::shared_ptr<AuthRetryState> state, int attempt);
+  /// Issues `method` with the retry policy when set, one-shot otherwise.
+  void idempotent_call(net::NodeId dst, std::uint32_t method,
+                       util::Bytes args, sim::Time timeout,
+                       net::Endpoint::ResponseFn on_response);
 
   net::Endpoint* endpoint_;
   gsi::ClientContext gsi_;
+  std::optional<net::RetryPolicy> retry_;
+  std::uint64_t auth_retries_ = 0;
+  std::uint64_t next_auth_stream_ = 1;
   std::unordered_map<JobId, StateFn> watchers_;
   std::unordered_map<JobId, std::vector<JobStateChange>> early_;
 };

@@ -59,9 +59,8 @@ void NisClient::initgroups(const std::string& user, sim::Time timeout,
                            DoneFn on_done) {
   util::Writer w;
   w.str(user);
-  endpoint_->call(server_, kMethodInitgroups, w.take(), timeout,
-                  [on_done = std::move(on_done)](const util::Status& status,
-                                                 util::Reader& reply) {
+  auto handler = [on_done = std::move(on_done)](const util::Status& status,
+                                                util::Reader& reply) {
                     if (!status.is_ok()) {
                       on_done(status);
                       return;
@@ -78,7 +77,16 @@ void NisClient::initgroups(const std::string& user, sim::Time timeout,
                       return;
                     }
                     on_done(std::move(groups));
-                  });
+  };
+  if (retry_.has_value()) {
+    net::RetryPolicy policy = *retry_;
+    if (policy.attempt_timeout <= 0) policy.attempt_timeout = timeout;
+    endpoint_->retrying_call(server_, kMethodInitgroups, w.take(), policy,
+                             std::move(handler));
+  } else {
+    endpoint_->call(server_, kMethodInitgroups, w.take(), timeout,
+                    std::move(handler));
+  }
 }
 
 }  // namespace grid::gram

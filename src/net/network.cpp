@@ -59,15 +59,17 @@ util::Status Network::send(NodeId src, NodeId dst, std::uint32_t kind,
     ++stats_.dropped_random;
     return util::Status::ok();
   }
-  const sim::Time dt = latency_->latency(src, dst, payload.size());
+  const sim::Time dt = latency_->latency(src, dst, payload.size()) +
+                       node_extra_delay(src) + node_extra_delay(dst);
   Message msg{src, dst, kind, std::move(payload)};
-  engine_->schedule_after(dt, [this, m = std::move(msg)]() mutable {
-    deliver(std::move(m));
-  });
+  engine_->schedule_after(
+      dt, [this, m = std::move(msg), se = epoch_of(src),
+           de = epoch_of(dst)]() mutable { deliver(std::move(m), se, de); });
   return util::Status::ok();
 }
 
-void Network::deliver(Message msg) {
+void Network::deliver(Message msg, std::uint64_t src_epoch,
+                      std::uint64_t dst_epoch) {
   // Partition and liveness are evaluated at delivery time, so a partition
   // injected while a message is in flight still swallows it.
   if (is_partitioned(msg.src, msg.dst)) {
@@ -79,8 +81,19 @@ void Network::deliver(Message msg) {
     ++stats_.dropped_down;
     return;
   }
+  // A crash of either endpoint while the message was in flight loses it,
+  // even if the node was restored before the nominal delivery time.
+  if (it->second.epoch != dst_epoch || epoch_of(msg.src) != src_epoch) {
+    ++stats_.dropped_down;
+    return;
+  }
   ++stats_.delivered;
   it->second.node->handle_message(msg);
+}
+
+std::uint64_t Network::epoch_of(NodeId id) const {
+  auto it = nodes_.find(id);
+  return it == nodes_.end() ? 0 : it->second.epoch;
 }
 
 void Network::set_node_up(NodeId id, bool up) {
@@ -88,8 +101,9 @@ void Network::set_node_up(NodeId id, bool up) {
   if (it == nodes_.end()) return;
   const bool was_up = it->second.up;
   it->second.up = up;
-  if (was_up && !up && it->second.node != nullptr) {
-    it->second.node->on_crash();
+  if (was_up && !up) {
+    ++it->second.epoch;
+    if (it->second.node != nullptr) it->second.node->on_crash();
   }
 }
 
@@ -114,6 +128,19 @@ bool Network::is_partitioned(NodeId a, NodeId b) const {
       a < b ? (static_cast<std::uint64_t>(a) << 32) | b
             : (static_cast<std::uint64_t>(b) << 32) | a;
   return partitions_.contains(k);
+}
+
+void Network::set_node_extra_delay(NodeId node, sim::Time extra) {
+  if (extra <= 0) {
+    extra_delay_.erase(node);
+  } else {
+    extra_delay_[node] = extra;
+  }
+}
+
+sim::Time Network::node_extra_delay(NodeId node) const {
+  auto it = extra_delay_.find(node);
+  return it == extra_delay_.end() ? 0 : it->second;
 }
 
 const std::string& Network::name(NodeId id) const {

@@ -112,6 +112,10 @@ struct NetworkStats {
   std::uint64_t dropped_partition = 0;  // src-dst pair partitioned
   std::uint64_t dropped_random = 0;     // injected loss
   std::uint64_t bytes_sent = 0;
+  // RPC retry layer (Endpoint::retrying_call).
+  std::uint64_t rpc_retries = 0;          // re-issued attempts
+  std::uint64_t rpc_retry_successes = 0;  // calls that recovered via retry
+  std::uint64_t rpc_retry_exhausted = 0;  // calls that ran out of attempts
 };
 
 /// The network itself.  Owns addressing, delivery, and failure injection.
@@ -148,8 +152,21 @@ class Network {
 
   /// Injects i.i.d. random loss with probability p on every message.
   void set_drop_probability(double p) { drop_prob_ = p; }
+  double drop_probability() const { return drop_prob_; }
+
+  /// Reseeds the random-loss stream.  Without this every network draws the
+  /// same loss pattern, so seeded trials would all lose the same messages.
+  void set_drop_seed(std::uint64_t seed) { drop_rng_ = sim::Rng(seed); }
+
+  /// Adds `extra` one-way latency to every message to or from `node` (a
+  /// "slow node" latency spike); 0 clears it.  Applied at send time, so
+  /// messages already in flight keep their original delivery time.
+  void set_node_extra_delay(NodeId node, sim::Time extra);
+  sim::Time node_extra_delay(NodeId node) const;
 
   const NetworkStats& stats() const { return stats_; }
+  /// Mutable counters, for the RPC layer's retry accounting.
+  NetworkStats& mutable_stats() { return stats_; }
   const std::string& name(NodeId id) const;
   std::size_t node_count() const { return nodes_.size(); }
 
@@ -158,9 +175,14 @@ class Network {
     Node* node = nullptr;
     std::string name;
     bool up = true;
+    /// Bumped on every crash: messages in flight across a crash of either
+    /// endpoint are dropped even if the node is restored before their
+    /// delivery time (the crash cut the wire).
+    std::uint64_t epoch = 0;
   };
 
-  void deliver(Message msg);
+  void deliver(Message msg, std::uint64_t src_epoch, std::uint64_t dst_epoch);
+  std::uint64_t epoch_of(NodeId id) const;
 
   sim::Engine* engine_;
   std::unique_ptr<LatencyModel> latency_;
@@ -169,6 +191,7 @@ class Network {
   NodeId next_id_ = 1;
   std::unordered_map<NodeId, Slot> nodes_;
   std::unordered_set<std::uint64_t> partitions_;
+  std::unordered_map<NodeId, sim::Time> extra_delay_;
   NetworkStats stats_;
 };
 

@@ -10,9 +10,14 @@ Endpoint::Endpoint(Network& network, std::string name)
 }
 
 Endpoint::~Endpoint() {
+  // Teardown with outstanding calls must leave nothing scheduled that
+  // captures `this`: cancel every per-call timeout and every retry backoff
+  // timer (each holds a lambda over this endpoint — a use-after-free if it
+  // ever fired after destruction).  Callbacks simply never fire.
   for (auto& [call_id, pc] : pending_) {
     engine().cancel(pc.timeout_event);
   }
+  drop_retrying_calls();
   network_->detach(id_);
 }
 
@@ -42,6 +47,116 @@ bool Endpoint::cancel_call(std::uint64_t call_id) {
   engine().cancel(it->second.timeout_event);
   pending_.erase(it);
   return true;
+}
+
+std::uint64_t Endpoint::retrying_call(NodeId dst, std::uint32_t method,
+                                      util::Bytes args,
+                                      const RetryPolicy& policy,
+                                      ResponseFn on_response) {
+  const std::uint64_t ticket = next_call_id_++;
+  RetryingCall rc(policy, ticket);
+  rc.dst = dst;
+  rc.method = method;
+  rc.args = std::move(args);
+  rc.on_response = std::move(on_response);
+  rc.started_at = engine().now();
+  retrying_.emplace(ticket, std::move(rc));
+  issue_attempt(ticket);
+  return ticket;
+}
+
+bool Endpoint::cancel_retrying_call(std::uint64_t ticket) {
+  auto it = retrying_.find(ticket);
+  if (it == retrying_.end()) return false;
+  engine().cancel(it->second.backoff_event);
+  if (it->second.inner_call != 0) cancel_call(it->second.inner_call);
+  retrying_.erase(it);
+  return true;
+}
+
+void Endpoint::issue_attempt(std::uint64_t ticket) {
+  auto it = retrying_.find(ticket);
+  if (it == retrying_.end()) return;
+  RetryingCall& rc = it->second;
+  const RetryPolicy& policy = rc.schedule.policy();
+  sim::Time timeout = policy.attempt_timeout;
+  if (policy.overall_deadline > 0) {
+    const sim::Time remaining =
+        rc.started_at + policy.overall_deadline - engine().now();
+    if (remaining <= 0) {
+      util::Bytes empty;
+      util::Reader r(empty);
+      on_attempt_response(
+          ticket,
+          util::Status(util::ErrorCode::kTimeout, "rpc deadline exhausted"),
+          r);
+      return;
+    }
+    if (timeout <= 0 || remaining < timeout) timeout = remaining;
+  }
+  ++rc.attempt;
+  if (rc.attempt > 1) ++network_->mutable_stats().rpc_retries;
+  rc.inner_call =
+      call(rc.dst, rc.method, rc.args, timeout,
+           [this, ticket](const util::Status& status, util::Reader& result) {
+             on_attempt_response(ticket, status, result);
+           });
+}
+
+void Endpoint::on_attempt_response(std::uint64_t ticket,
+                                   const util::Status& status,
+                                   util::Reader& result) {
+  auto it = retrying_.find(ticket);
+  if (it == retrying_.end()) return;  // cancelled mid-flight
+  RetryingCall& rc = it->second;
+  rc.inner_call = 0;
+  const RetryPolicy& policy = rc.schedule.policy();
+  if (status.code() != util::ErrorCode::kTimeout) {
+    // Success or a definitive (non-retryable) error: deliver it.
+    if (status.is_ok() && rc.attempt > 1) {
+      ++network_->mutable_stats().rpc_retry_successes;
+    }
+    ResponseFn fn = std::move(rc.on_response);
+    retrying_.erase(it);
+    fn(status, result);
+    return;
+  }
+  const sim::Time deadline = policy.overall_deadline > 0
+                                 ? rc.started_at + policy.overall_deadline
+                                 : sim::kTimeNever;
+  sim::Time backoff = 0;
+  bool exhausted = rc.attempt >= policy.max_attempts;
+  if (!exhausted) {
+    backoff = rc.schedule.backoff_before(rc.attempt + 1);
+    // No attempt may start at or past the deadline.
+    exhausted = engine().now() + backoff >= deadline;
+  }
+  if (exhausted) {
+    ++network_->mutable_stats().rpc_retry_exhausted;
+    const int attempts = rc.attempt;
+    ResponseFn fn = std::move(rc.on_response);
+    retrying_.erase(it);
+    util::Bytes empty;
+    util::Reader r(empty);
+    fn(util::Status(util::ErrorCode::kTimeout,
+                    "rpc timeout after " + std::to_string(attempts) +
+                        " attempt(s)"),
+       r);
+    return;
+  }
+  rc.backoff_event =
+      engine().schedule_after(backoff, [this, ticket] {
+        auto rit = retrying_.find(ticket);
+        if (rit != retrying_.end()) rit->second.backoff_event = {};
+        issue_attempt(ticket);
+      });
+}
+
+void Endpoint::drop_retrying_calls() {
+  for (auto& [ticket, rc] : retrying_) {
+    engine().cancel(rc.backoff_event);
+  }
+  retrying_.clear();
 }
 
 void Endpoint::fail_call(std::uint64_t call_id, util::ErrorCode code,
@@ -160,6 +275,9 @@ void Endpoint::on_crash() {
     engine().cancel(pc.timeout_event);
   }
   pending_.clear();
+  // Retrying calls die with the host: a crashed client must not wake up
+  // from a backoff timer and transmit.
+  drop_retrying_calls();
   if (crash_hook) crash_hook();
 }
 

@@ -12,6 +12,7 @@
 #include <unordered_map>
 
 #include "net/network.hpp"
+#include "net/retry.hpp"
 #include "simkit/codec.hpp"
 #include "simkit/engine.hpp"
 #include "simkit/status.hpp"
@@ -61,7 +62,23 @@ class Endpoint : public Node {
   /// the call was still pending.
   bool cancel_call(std::uint64_t call_id);
 
+  /// Issues a call that is transparently re-issued on kTimeout, following
+  /// `policy`'s backoff schedule.  ONLY safe for idempotent methods: a
+  /// retry after a lost *reply* re-executes the request on the server.
+  /// The callback fires exactly once — with the first non-timeout outcome,
+  /// or with a single kTimeout error once attempts/deadline are exhausted.
+  /// Returns a ticket usable with cancel_retrying_call(); the ticket id
+  /// space is shared with plain call ids.
+  std::uint64_t retrying_call(NodeId dst, std::uint32_t method,
+                              util::Bytes args, const RetryPolicy& policy,
+                              ResponseFn on_response);
+
+  /// Abandons a retrying call between or during attempts; its callback
+  /// will not fire.  Returns true if the operation was still pending.
+  bool cancel_retrying_call(std::uint64_t ticket);
+
   std::size_t pending_calls() const { return pending_.size(); }
+  std::size_t pending_retrying_calls() const { return retrying_.size(); }
 
   // ---- server side -------------------------------------------------------
 
@@ -99,8 +116,31 @@ class Endpoint : public Node {
     sim::EventId timeout_event;
   };
 
+  /// One retrying operation: the frozen request, its schedule, and the
+  /// currently in-flight attempt (or the backoff timer between attempts).
+  struct RetryingCall {
+    NodeId dst = kInvalidNode;
+    std::uint32_t method = 0;
+    util::Bytes args;
+    RetrySchedule schedule;
+    ResponseFn on_response;
+    int attempt = 0;            // attempts issued so far
+    sim::Time started_at = 0;   // deadline anchor
+    std::uint64_t inner_call = 0;  // pending call id of the live attempt
+    sim::EventId backoff_event;    // pending timer between attempts
+
+    RetryingCall(const RetryPolicy& policy, std::uint64_t stream)
+        : schedule(policy, stream) {}
+  };
+
   void fail_call(std::uint64_t call_id, util::ErrorCode code,
                  const std::string& message);
+  void issue_attempt(std::uint64_t ticket);
+  void on_attempt_response(std::uint64_t ticket, const util::Status& status,
+                           util::Reader& result);
+  /// Cancels timers and live attempts of every retrying call; callbacks
+  /// will not fire.  Used by teardown and crash handling.
+  void drop_retrying_calls();
 
   Network* network_;
   NodeId id_;
@@ -108,6 +148,7 @@ class Endpoint : public Node {
   bool crashed_ = false;
   std::uint64_t next_call_id_ = 1;
   std::unordered_map<std::uint64_t, PendingCall> pending_;
+  std::unordered_map<std::uint64_t, RetryingCall> retrying_;
   std::unordered_map<std::uint32_t, MethodHandler> methods_;
   std::unordered_map<std::uint32_t, NotifyHandler> notifies_;
 };

@@ -69,6 +69,7 @@ Grid::Grid(CostModel costs, std::uint64_t seed)
     : costs_(costs),
       ca_("/O=Grid/CN=TestbedCA", seed ^ 0xca5eedULL) {
   network_ = std::make_unique<net::Network>(engine_);
+  network_->set_drop_seed(seed ^ 0xd70b5eedULL);
   network_->set_latency_model(
       std::make_unique<net::FixedLatency>(costs_.network_latency));
   nis_ = std::make_unique<gram::NisServer>(*network_, costs_.nis_service);

@@ -1,8 +1,10 @@
 // Unit tests for the network simulation and the RPC layer.
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <vector>
 
+#include "app/failure.hpp"
 #include "net/network.hpp"
 #include "net/rpc.hpp"
 
@@ -122,6 +124,81 @@ TEST_F(NetFixture, StatsCountBytes) {
 TEST_F(NetFixture, NamesAreRetrievable) {
   EXPECT_EQ(network.name(na), "a");
   EXPECT_EQ(network.name(12345), "<unknown>");
+}
+
+TEST_F(NetFixture, SlowNodeDelaysBothDirections) {
+  network.set_latency_model(
+      std::make_unique<net::FixedLatency>(5 * sim::kMillisecond));
+  network.set_node_extra_delay(nb, 20 * sim::kMillisecond);
+  network.send(na, nb, 1, {});
+  engine.run();
+  EXPECT_EQ(engine.now(), 25 * sim::kMillisecond);
+  network.send(nb, na, 2, {});
+  engine.run();
+  EXPECT_EQ(engine.now(), 50 * sim::kMillisecond);
+  network.set_node_extra_delay(nb, 0);
+  network.send(na, nb, 3, {});
+  engine.run();
+  EXPECT_EQ(engine.now(), 55 * sim::kMillisecond);
+}
+
+TEST_F(NetFixture, RestoreWithInFlightMessages) {
+  // Messages in flight toward a crashed node are dropped even if the node
+  // is restored before their delivery time: the crash cut the wire.
+  network.set_latency_model(
+      std::make_unique<net::FixedLatency>(10 * sim::kMillisecond));
+  network.send(na, nb, 1, {});
+  app::FailureInjector inject(network);
+  inject.crash_at(nb, 2 * sim::kMillisecond);
+  inject.restore_at(nb, 5 * sim::kMillisecond);
+  // A message sent after the restore is delivered normally.
+  engine.schedule_at(6 * sim::kMillisecond,
+                     [&] { network.send(na, nb, 2, {}); });
+  engine.run();
+  ASSERT_EQ(b.messages.size(), 1u);
+  EXPECT_EQ(b.messages[0].kind, 2u);
+  EXPECT_EQ(b.crashes, 1);
+}
+
+// ---- failure injection windows ---------------------------------------------
+
+TEST_F(NetFixture, LossyWindowsOverlapTakeMax) {
+  app::FailureInjector inject(network);
+  inject.lossy_window(0.2, 10, 40);
+  inject.lossy_window(0.5, 20, 30);  // nested, higher loss
+  std::vector<double> probes;
+  for (sim::Time t : {5, 15, 25, 35, 45}) {
+    engine.schedule_at(t, [&] { probes.push_back(network.drop_probability()); });
+  }
+  engine.run();
+  EXPECT_EQ(probes,
+            (std::vector<double>{0.0, 0.2, 0.5, 0.2, 0.0}));
+}
+
+TEST_F(NetFixture, LossyWindowEndDoesNotCancelStillOpenWindow) {
+  app::FailureInjector inject(network);
+  inject.lossy_window(0.3, 10, 50);
+  inject.lossy_window(0.3, 20, 30);  // same probability, shorter
+  std::vector<double> probes;
+  for (sim::Time t : {25, 35, 55}) {
+    engine.schedule_at(t, [&] { probes.push_back(network.drop_probability()); });
+  }
+  engine.run();
+  // At 35 the inner window has closed but the outer one still applies.
+  EXPECT_EQ(probes, (std::vector<double>{0.3, 0.3, 0.0}));
+}
+
+TEST_F(NetFixture, LinkFlappingAlternatesAndHealsAtEnd) {
+  app::FailureInjector inject(network);
+  inject.flap_link(na, nb, 10, 50, 10);  // down [10,20) up [20,30) ...
+  std::vector<bool> partitioned;
+  for (sim::Time t : {5, 15, 25, 35, 45, 55}) {
+    engine.schedule_at(
+        t, [&] { partitioned.push_back(network.is_partitioned(na, nb)); });
+  }
+  engine.run();
+  EXPECT_EQ(partitioned,
+            (std::vector<bool>{false, true, false, true, false, false}));
 }
 
 TEST(LatencyModels, MatrixUsesPairsAndDefault) {
@@ -276,6 +353,24 @@ TEST_F(RpcFixture, CrashDropsPendingCallsSilently) {
   EXPECT_EQ(calls, 0);  // a dead client gets no callbacks
   EXPECT_TRUE(hook);
   EXPECT_EQ(client.pending_calls(), 0u);
+}
+
+TEST_F(RpcFixture, EndpointDestructionCancelsOutstandingCalls) {
+  // Regression: destroying an endpoint with calls in flight used to leave
+  // their timeout events scheduled against the dead object.
+  server.register_method(1, [](net::NodeId, std::uint64_t, util::Reader&) {
+    // never responds: both the response path and the timeout are pending
+  });
+  auto doomed = std::make_unique<net::Endpoint>(network, "doomed");
+  int callbacks = 0;
+  doomed->call(server.id(), 1, {}, sim::kSecond,
+               [&](const util::Status&, util::Reader&) { ++callbacks; });
+  doomed->call(server.id(), 1, {}, 2 * sim::kSecond,
+               [&](const util::Status&, util::Reader&) { ++callbacks; });
+  EXPECT_EQ(doomed->pending_calls(), 2u);
+  doomed.reset();
+  engine.run();  // timeout events must not fire into freed memory
+  EXPECT_EQ(callbacks, 0);
 }
 
 TEST_F(RpcFixture, ConcurrentCallsMatchResponses) {
