@@ -23,6 +23,7 @@
 #include "simkit/engine.hpp"
 #include "simkit/rng.hpp"
 #include "simkit/stats.hpp"
+#include "simkit/trialpool.hpp"
 #include "testbed/report.hpp"
 
 using namespace grid;
@@ -133,11 +134,17 @@ int main() {
                         "vs_random"});
   constexpr int kProbes = 60;
   constexpr int kSeeds = 5;
+  // Seeded trials are isolated worlds; fan them across the pool and fold
+  // the per-seed means in seed order so the report never depends on
+  // completion order.
+  sim::TrialPool pool;
   auto mean_over_seeds = [&](sim::Time interval) {
+    const std::vector<double> means = pool.map<double>(
+        kSeeds, [interval](std::size_t s) {
+          return run(interval, 100 + static_cast<std::uint64_t>(s), kProbes);
+        });
     util::Accumulator acc;
-    for (int s = 0; s < kSeeds; ++s) {
-      acc.add(run(interval, 100 + static_cast<std::uint64_t>(s), kProbes));
-    }
+    for (double m : means) acc.add(m);
     return acc.mean();
   };
   const double random_wait = mean_over_seeds(-1);

@@ -1,0 +1,72 @@
+#!/usr/bin/env bash
+# Builds the Release bench preset, runs the engine microbench and the retry
+# ablation, and diffs the fresh BENCH_engine.json against the committed
+# baseline, warning when any throughput figure regressed by more than 20%.
+#
+# Usage: scripts/run_benches.sh
+# Exit code: non-zero if a bench itself fails its shape check; regressions
+# against the baseline only warn (wall-clock numbers are machine-relative).
+set -u
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$repo_root"
+
+echo "== configure + build (bench preset, Release) =="
+cmake --preset bench >/dev/null || exit 1
+cmake --build --preset bench -j "$(nproc)" >/dev/null || exit 1
+
+status=0
+
+echo
+echo "== bench/micro_engine =="
+fresh_json="build-bench/BENCH_engine.json"
+./build-bench/bench/micro_engine "$fresh_json" || status=1
+
+echo
+echo "== bench/ablate_retry =="
+./build-bench/bench/ablate_retry || status=1
+
+baseline="BENCH_engine.json"
+if [[ -f "$baseline" && -f "$fresh_json" ]]; then
+  echo
+  echo "== regression check vs committed $baseline (warn at >20%) =="
+  python3 - "$baseline" "$fresh_json" <<'PY'
+import json, sys
+
+with open(sys.argv[1]) as f:
+    base = json.load(f)
+with open(sys.argv[2]) as f:
+    fresh = json.load(f)
+
+def walk(prefix, b, f, rows):
+    for key, bv in b.items():
+        fv = f.get(key)
+        if isinstance(bv, dict) and isinstance(fv, dict):
+            walk(prefix + key + ".", bv, fv, rows)
+        elif isinstance(bv, (int, float)) and not isinstance(bv, bool) \
+                and isinstance(fv, (int, float)) and bv > 0:
+            rows.append((prefix + key, bv, fv))
+
+rows = []
+walk("", base, fresh, rows)
+worst = 0
+for name, bv, fv in rows:
+    # Throughput-style fields: smaller is worse.  Skip wall-clock seconds,
+    # where smaller is better and trial counts make them machine-relative.
+    if name.endswith("_s") or name.endswith("workers"):
+        continue
+    delta = (fv - bv) / bv
+    flag = ""
+    if delta < -0.20:
+        flag = "  <-- REGRESSION"
+        worst += 1
+    print(f"  {name:55s} {bv:10.2f} -> {fv:10.2f}  {delta:+6.1%}{flag}")
+if worst:
+    print(f"\nWARNING: {worst} figure(s) regressed by more than 20% "
+          f"against the committed baseline.")
+else:
+    print("\nno >20% regressions against the committed baseline.")
+PY
+fi
+
+exit $status

@@ -1,0 +1,136 @@
+// Small-buffer-optimized move-only callable, the engine's callback type.
+//
+// Almost every event callback in this codebase captures a pointer or two
+// plus a sequence number / deadline (retry timers, heartbeat ticks, RPC
+// timeouts).  `std::function` heap-allocates many of those and pays a
+// virtual dispatch on every move; `InplaceFunction<N>` stores any callable
+// of size <= N inline and only boxes genuinely large captures.  Move-only
+// on purpose: event callbacks are scheduled once and fired once, so copies
+// would only hide accidental double-ownership of captured state.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace grid::sim {
+
+template <std::size_t Capacity>
+class InplaceFunction {
+ public:
+  InplaceFunction() = default;
+  InplaceFunction(std::nullptr_t) {}  // NOLINT(google-explicit-constructor)
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, InplaceFunction> &&
+                !std::is_same_v<std::decay_t<F>, std::nullptr_t> &&
+                std::is_invocable_r_v<void, std::decay_t<F>&>>>
+  InplaceFunction(F&& f) {  // NOLINT(google-explicit-constructor)
+    emplace(std::forward<F>(f));
+  }
+
+  InplaceFunction(InplaceFunction&& other) noexcept { move_from(other); }
+  InplaceFunction& operator=(InplaceFunction&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(other);
+    }
+    return *this;
+  }
+  InplaceFunction& operator=(std::nullptr_t) {
+    reset();
+    return *this;
+  }
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, InplaceFunction> &&
+                !std::is_same_v<std::decay_t<F>, std::nullptr_t> &&
+                std::is_invocable_r_v<void, std::decay_t<F>&>>>
+  InplaceFunction& operator=(F&& f) {
+    reset();
+    emplace(std::forward<F>(f));
+    return *this;
+  }
+
+  InplaceFunction(const InplaceFunction&) = delete;
+  InplaceFunction& operator=(const InplaceFunction&) = delete;
+
+  ~InplaceFunction() { reset(); }
+
+  explicit operator bool() const { return ops_ != nullptr; }
+  friend bool operator==(const InplaceFunction& f, std::nullptr_t) {
+    return f.ops_ == nullptr;
+  }
+
+  void operator()() { ops_->invoke(&storage_); }
+
+ private:
+  struct Ops {
+    void (*invoke)(void*);
+    // Move-constructs dst from src and destroys src.
+    void (*relocate)(void* dst, void* src);
+    void (*destroy)(void*);
+  };
+
+  template <typename F>
+  static constexpr bool fits_inline =
+      sizeof(F) <= Capacity && alignof(F) <= alignof(std::max_align_t) &&
+      std::is_nothrow_move_constructible_v<F>;
+
+  template <typename F>
+  struct InlineOps {
+    static void invoke(void* p) { (*static_cast<F*>(p))(); }
+    static void relocate(void* dst, void* src) {
+      F* from = static_cast<F*>(src);
+      ::new (dst) F(std::move(*from));
+      from->~F();
+    }
+    static void destroy(void* p) { static_cast<F*>(p)->~F(); }
+    static constexpr Ops ops{&invoke, &relocate, &destroy};
+  };
+
+  template <typename F>
+  struct BoxedOps {
+    static F*& slot(void* p) { return *static_cast<F**>(p); }
+    static void invoke(void* p) { (*slot(p))(); }
+    static void relocate(void* dst, void* src) {
+      ::new (dst) F*(slot(src));
+    }
+    static void destroy(void* p) { delete slot(p); }
+    static constexpr Ops ops{&invoke, &relocate, &destroy};
+  };
+
+  template <typename F>
+  void emplace(F&& f) {
+    using Fn = std::decay_t<F>;
+    if constexpr (fits_inline<Fn>) {
+      ::new (&storage_) Fn(std::forward<F>(f));
+      ops_ = &InlineOps<Fn>::ops;
+    } else {
+      ::new (&storage_) Fn*(new Fn(std::forward<F>(f)));
+      ops_ = &BoxedOps<Fn>::ops;
+    }
+  }
+
+  void move_from(InplaceFunction& other) noexcept {
+    ops_ = other.ops_;
+    if (ops_ != nullptr) {
+      ops_->relocate(&storage_, &other.storage_);
+      other.ops_ = nullptr;
+    }
+  }
+
+  void reset() {
+    if (ops_ != nullptr) {
+      ops_->destroy(&storage_);
+      ops_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) std::byte storage_[Capacity];
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace grid::sim

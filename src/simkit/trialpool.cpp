@@ -1,0 +1,96 @@
+#include "simkit/trialpool.hpp"
+
+#include <condition_variable>
+#include <cstdlib>
+#include <exception>
+#include <mutex>
+
+namespace grid::sim {
+
+struct TrialPool::Impl {
+  std::mutex mu;
+  std::condition_variable work_cv;
+  std::condition_variable done_cv;
+  // Current sweep; body is non-null only while run_indexed is active.
+  const std::function<void(std::size_t)>* body = nullptr;
+  std::size_t count = 0;
+  std::size_t next = 0;
+  std::size_t in_flight = 0;
+  std::exception_ptr error;
+  bool stop = false;
+};
+
+unsigned TrialPool::default_workers() {
+  if (const char* env = std::getenv("GRID_TRIAL_THREADS")) {
+    const int n = std::atoi(env);
+    if (n > 0) return static_cast<unsigned>(n);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? hw : 1;
+}
+
+TrialPool::TrialPool(unsigned threads) : impl_(new Impl) {
+  if (threads == 0) threads = default_workers();
+  threads_.reserve(threads);
+  for (unsigned i = 0; i < threads; ++i) {
+    threads_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+TrialPool::~TrialPool() {
+  {
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    impl_->stop = true;
+  }
+  impl_->work_cv.notify_all();
+  for (std::thread& t : threads_) t.join();
+  delete impl_;
+}
+
+void TrialPool::worker_loop() {
+  Impl& st = *impl_;
+  std::unique_lock<std::mutex> lock(st.mu);
+  for (;;) {
+    st.work_cv.wait(lock, [&] {
+      return st.stop || (st.body != nullptr && st.next < st.count);
+    });
+    if (st.stop) return;
+    const std::size_t i = st.next++;
+    ++st.in_flight;
+    lock.unlock();
+    try {
+      (*st.body)(i);
+      lock.lock();
+    } catch (...) {
+      lock.lock();
+      if (!st.error) st.error = std::current_exception();
+      st.next = st.count;  // stop claiming further trials
+    }
+    --st.in_flight;
+    if (st.next >= st.count && st.in_flight == 0) st.done_cv.notify_all();
+  }
+}
+
+void TrialPool::run_indexed(std::size_t count,
+                            const std::function<void(std::size_t)>& body) {
+  if (count == 0) return;
+  Impl& st = *impl_;
+  std::unique_lock<std::mutex> lock(st.mu);
+  st.body = &body;
+  st.count = count;
+  st.next = 0;
+  st.in_flight = 0;
+  st.error = nullptr;
+  st.work_cv.notify_all();
+  st.done_cv.wait(lock,
+                  [&] { return st.next >= st.count && st.in_flight == 0; });
+  st.body = nullptr;
+  if (st.error) {
+    std::exception_ptr err = st.error;
+    st.error = nullptr;
+    lock.unlock();
+    std::rethrow_exception(err);
+  }
+}
+
+}  // namespace grid::sim

@@ -1,0 +1,70 @@
+// Trial-level parallelism for seeded discrete-event ensembles.
+//
+// Every experiment in this reproduction is an ensemble of independent
+// seeded trials: build a Grid from a seed, run the event loop, collect a
+// result struct.  The engine itself is single-threaded by design (see
+// engine.hpp), so the only safe parallelism is *between* trials — each
+// closure owns its entire world (Engine, Network, Rng) and shares nothing.
+//
+// TrialPool fans such closures across a fixed set of worker threads and
+// hands the results back in input order, so a parallel sweep is
+// byte-identical to the serial loop it replaces: determinism per seed is
+// untouched because no trial ever observes another trial, and determinism
+// of the *report* is untouched because results are keyed by index, never
+// by completion order.
+//
+// Closures must be fully isolated: no shared mutable state, no
+// EXPECT/ASSERT on shared objects, no engine handles crossing trials.
+// `run_indexed` is not reentrant (a trial body must not run nested sweeps
+// on the same pool).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <thread>
+#include <vector>
+
+namespace grid::sim {
+
+class TrialPool {
+ public:
+  /// Creates `threads` workers; 0 means one per hardware thread (or the
+  /// GRID_TRIAL_THREADS environment override, so CI and the determinism
+  /// harness can force serial or oversubscribed sweeps).
+  explicit TrialPool(unsigned threads = 0);
+  ~TrialPool();
+
+  TrialPool(const TrialPool&) = delete;
+  TrialPool& operator=(const TrialPool&) = delete;
+
+  /// Number of worker threads actually running.
+  unsigned workers() const { return static_cast<unsigned>(threads_.size()); }
+
+  /// The thread count a default-constructed pool would use.
+  static unsigned default_workers();
+
+  /// Runs body(i) for every i in [0, count), distributed across the
+  /// workers; returns when all are done.  If any body throws, the first
+  /// exception is rethrown here after the sweep stops claiming new indices.
+  void run_indexed(std::size_t count,
+                   const std::function<void(std::size_t)>& body);
+
+  /// Fans count seeded trials out and returns results in index order:
+  /// out[i] = fn(i).  `fn` must be callable concurrently from multiple
+  /// threads on distinct indices.
+  template <typename R, typename Fn>
+  std::vector<R> map(std::size_t count, Fn&& fn) {
+    std::vector<R> out(count);
+    run_indexed(count, [&](std::size_t i) { out[i] = fn(i); });
+    return out;
+  }
+
+ private:
+  struct Impl;
+  void worker_loop();
+
+  std::vector<std::thread> threads_;
+  Impl* impl_;
+};
+
+}  // namespace grid::sim

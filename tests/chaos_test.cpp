@@ -26,6 +26,7 @@
 #include "core/duroc.hpp"
 #include "core/grab.hpp"
 #include "core/monitor.hpp"
+#include "simkit/trialpool.hpp"
 #include "testbed/grid.hpp"
 
 namespace grid {
@@ -247,25 +248,38 @@ void check_invariants(const Outcome& out, Schedule schedule,
   }
 }
 
+constexpr Schedule kAllSchedules[] = {Schedule::kCrash, Schedule::kPartition,
+                                      Schedule::kLossy, Schedule::kFlapping};
+
+/// Runs the full 4-schedule x kSeeds matrix through `trial` on the pool;
+/// every trial is a fully isolated world, so the fan-out cannot perturb
+/// per-seed determinism.  Outcomes come back in (schedule, seed) order and
+/// the invariants are checked on the main thread where SCOPED_TRACE works.
+template <typename Trial>
+std::vector<Outcome> sweep_matrix(sim::TrialPool& pool, Trial trial) {
+  return pool.map<Outcome>(std::size(kAllSchedules) * kSeeds,
+                           [&](std::size_t i) {
+                             const Schedule schedule = kAllSchedules[i / kSeeds];
+                             const std::uint64_t seed = i % kSeeds + 1;
+                             return trial(schedule, seed);
+                           });
+}
+
 TEST(ChaosSweep, GrabInvariantsHoldUnderAllSchedules) {
-  for (Schedule schedule :
-       {Schedule::kCrash, Schedule::kPartition, Schedule::kLossy,
-        Schedule::kFlapping}) {
-    for (std::uint64_t seed = 1; seed <= kSeeds; ++seed) {
-      check_invariants(run_grab_trial(schedule, seed), schedule, seed,
-                       "grab");
-    }
+  sim::TrialPool pool;
+  const std::vector<Outcome> outcomes = sweep_matrix(pool, run_grab_trial);
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    check_invariants(outcomes[i], kAllSchedules[i / kSeeds], i % kSeeds + 1,
+                     "grab");
   }
 }
 
 TEST(ChaosSweep, DurocInvariantsHoldUnderAllSchedules) {
-  for (Schedule schedule :
-       {Schedule::kCrash, Schedule::kPartition, Schedule::kLossy,
-        Schedule::kFlapping}) {
-    for (std::uint64_t seed = 1; seed <= kSeeds; ++seed) {
-      check_invariants(run_duroc_trial(schedule, seed), schedule, seed,
-                       "duroc");
-    }
+  sim::TrialPool pool;
+  const std::vector<Outcome> outcomes = sweep_matrix(pool, run_duroc_trial);
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    check_invariants(outcomes[i], kAllSchedules[i / kSeeds], i % kSeeds + 1,
+                     "duroc");
   }
 }
 
@@ -278,6 +292,24 @@ TEST(ChaosSweep, TrialsAreDeterministicPerSeed) {
                 run_duroc_trial(schedule, seed));
     }
   }
+}
+
+TEST(ChaosSweep, ParallelSweepIsByteIdenticalToSerial) {
+  // The whole point of TrialPool: the parallel ensemble must be
+  // indistinguishable from the serial loop it replaced, outcome by
+  // outcome, regardless of worker count or completion order.
+  auto serial = [&](auto trial) {
+    std::vector<Outcome> out;
+    for (Schedule schedule : kAllSchedules) {
+      for (std::uint64_t seed = 1; seed <= kSeeds; ++seed) {
+        out.push_back(trial(schedule, seed));
+      }
+    }
+    return out;
+  };
+  sim::TrialPool wide(4);  // oversubscribed on small machines, on purpose
+  EXPECT_EQ(serial(run_grab_trial), sweep_matrix(wide, run_grab_trial));
+  EXPECT_EQ(serial(run_duroc_trial), sweep_matrix(wide, run_duroc_trial));
 }
 
 // ---- failure detector properties -------------------------------------------

@@ -2,15 +2,21 @@
 // status types.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <memory>
+#include <numeric>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "simkit/codec.hpp"
 #include "simkit/engine.hpp"
+#include "simkit/inplace_function.hpp"
 #include "simkit/rng.hpp"
 #include "simkit/stats.hpp"
 #include "simkit/status.hpp"
 #include "simkit/time.hpp"
+#include "simkit/trialpool.hpp"
 
 namespace grid {
 namespace {
@@ -140,6 +146,284 @@ TEST(Engine, PendingExcludesCancelled) {
   EXPECT_EQ(e.pending(), 2u);
   e.cancel(a);
   EXPECT_EQ(e.pending(), 1u);
+}
+
+TEST(Engine, CancelFromInsideFiringCallback) {
+  // A firing callback may disarm any pending event, including one
+  // scheduled for the same instant, and may not disarm itself (it has
+  // already fired).
+  sim::Engine e;
+  bool victim_fired = false;
+  sim::EventId self;
+  sim::EventId victim = e.schedule_at(10, [&] { victim_fired = true; });
+  self = e.schedule_at(5, [&] {
+    EXPECT_TRUE(e.cancel(victim));
+    EXPECT_FALSE(e.cancel(self));  // the firing event is no longer pending
+  });
+  e.run();
+  EXPECT_FALSE(victim_fired);
+  EXPECT_EQ(e.executed(), 1u);
+}
+
+TEST(Engine, CancelSameInstantSiblingFromCallback) {
+  sim::Engine e;
+  std::vector<int> fired;
+  sim::EventId second;
+  e.schedule_at(5, [&] {
+    fired.push_back(1);
+    EXPECT_TRUE(e.cancel(second));
+  });
+  second = e.schedule_at(5, [&] { fired.push_back(2); });
+  e.schedule_at(5, [&] { fired.push_back(3); });
+  e.run();
+  EXPECT_EQ(fired, (std::vector<int>{1, 3}));
+}
+
+TEST(Engine, ReentrantZeroDelayRunsFifo) {
+  // Events scheduled from inside a callback with zero delay land at the
+  // same instant and must still run in scheduling order, after any events
+  // already queued for that instant.
+  sim::Engine e;
+  std::vector<int> order;
+  e.schedule_at(5, [&] {
+    order.push_back(1);
+    e.schedule_after(0, [&] {
+      order.push_back(3);
+      e.schedule_after(0, [&] { order.push_back(5); });
+    });
+    e.schedule_after(0, [&] { order.push_back(4); });
+  });
+  e.schedule_at(5, [&] { order.push_back(2); });
+  e.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 4, 5}));
+  EXPECT_EQ(e.now(), 5);
+}
+
+TEST(Engine, SlabReuseDoesNotResurrectStaleIds) {
+  // After an event fires or is cancelled its slab slot is recycled; a held
+  // handle to the old occupant must never cancel the new one.
+  sim::Engine e;
+  auto stale_fired = e.schedule_at(1, [] {});
+  auto stale_cancelled = e.schedule_at(2, [] {});
+  e.cancel(stale_cancelled);
+  e.run();
+  // Refill the slab: the freed slots are reused by these events.
+  bool a_fired = false, b_fired = false;
+  e.schedule_at(10, [&] { a_fired = true; });
+  e.schedule_at(11, [&] { b_fired = true; });
+  EXPECT_FALSE(e.cancel(stale_fired));
+  EXPECT_FALSE(e.cancel(stale_cancelled));
+  EXPECT_EQ(e.pending(), 2u);
+  e.run();
+  EXPECT_TRUE(a_fired);
+  EXPECT_TRUE(b_fired);
+}
+
+TEST(Engine, SeededShufflePreservesSameTimeFifo) {
+  // Adversarial heap exercise: schedule events at a handful of instants in
+  // shuffled order, cancel a seeded subset, and assert that per instant
+  // the survivors fire exactly in scheduling order.  This is the
+  // determinism contract the protocols rely on, under enough churn that a
+  // broken sift or stale heap_pos would scramble it.
+  sim::Rng rng(0x5eed);
+  for (int trial = 0; trial < 20; ++trial) {
+    sim::Engine e;
+    constexpr int kEvents = 300;
+    std::vector<int> arrival(kEvents);
+    std::iota(arrival.begin(), arrival.end(), 0);
+    // Fisher-Yates with the sim RNG, so the trial is reproducible.
+    for (int i = kEvents - 1; i > 0; --i) {
+      std::swap(arrival[static_cast<std::size_t>(i)],
+                arrival[static_cast<std::size_t>(rng.uniform_int(0, i))]);
+    }
+    struct Scheduled {
+      sim::EventId id;
+      sim::Time at;
+      int order;  // scheduling order, the FIFO key
+      bool cancelled = false;
+    };
+    std::vector<Scheduled> events;
+    std::vector<std::pair<sim::Time, int>> fired;
+    for (int order = 0; order < kEvents; ++order) {
+      const sim::Time at = arrival[static_cast<std::size_t>(order)] % 7;
+      Scheduled s;
+      s.at = at;
+      s.order = order;
+      s.id = e.schedule_at(at, [&fired, &e, order] {
+        fired.emplace_back(e.now(), order);
+      });
+      events.push_back(s);
+    }
+    for (Scheduled& s : events) {
+      if (rng.chance(0.3)) {
+        EXPECT_TRUE(e.cancel(s.id));
+        s.cancelled = true;
+      }
+    }
+    e.run();
+    std::vector<std::pair<sim::Time, int>> expected;
+    for (sim::Time at = 0; at < 7; ++at) {
+      for (const Scheduled& s : events) {
+        if (!s.cancelled && s.at == at) expected.emplace_back(at, s.order);
+      }
+    }
+    EXPECT_EQ(fired, expected) << "trial " << trial;
+  }
+}
+
+TEST(Engine, TimeNeverEventsAreUnreachable) {
+  // The kTimeNever contract: a parked event is pending but never fires,
+  // not even via run() or run_until(kTimeNever).
+  sim::Engine e;
+  bool parked_fired = false;
+  bool normal_fired = false;
+  auto parked = e.schedule_at(sim::kTimeNever, [&] { parked_fired = true; });
+  e.schedule_at(10, [&] { normal_fired = true; });
+  e.run();
+  EXPECT_TRUE(normal_fired);
+  EXPECT_FALSE(parked_fired);
+  EXPECT_EQ(e.now(), 10);  // the clock never jumped to the end of time
+  EXPECT_EQ(e.pending(), 1u);
+  e.run_until(sim::kTimeNever);
+  EXPECT_FALSE(parked_fired);
+  EXPECT_EQ(e.now(), 10);
+  EXPECT_FALSE(e.step());
+  // Parked events are still cancellable.
+  EXPECT_TRUE(e.cancel(parked));
+  EXPECT_EQ(e.pending(), 0u);
+}
+
+TEST(Engine, OverflowingDelayParksAtTimeNever) {
+  sim::Engine e;
+  bool fired = false;
+  e.schedule_at(100, [&] {
+    e.schedule_after(sim::kTimeNever - 10, [&] { fired = true; });
+  });
+  e.run();
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(e.now(), 100);
+  EXPECT_EQ(e.pending(), 1u);
+}
+
+// ---- inplace function -------------------------------------------------------
+
+TEST(InplaceFunction, SmallCaptureInvokes) {
+  int hits = 0;
+  sim::InplaceFunction<64> f([&hits] { ++hits; });
+  EXPECT_TRUE(static_cast<bool>(f));
+  f();
+  f();
+  EXPECT_EQ(hits, 2);
+}
+
+TEST(InplaceFunction, DefaultAndNullptrAreEmpty) {
+  sim::InplaceFunction<64> f;
+  EXPECT_FALSE(static_cast<bool>(f));
+  f = [] {};
+  EXPECT_TRUE(static_cast<bool>(f));
+  f = nullptr;
+  EXPECT_FALSE(static_cast<bool>(f));
+}
+
+TEST(InplaceFunction, MoveTransfersOwnership) {
+  auto counter = std::make_shared<int>(0);
+  sim::InplaceFunction<64> a([counter] { ++*counter; });
+  sim::InplaceFunction<64> b(std::move(a));
+  EXPECT_FALSE(static_cast<bool>(a));  // NOLINT(bugprone-use-after-move)
+  b();
+  EXPECT_EQ(*counter, 1);
+  a = std::move(b);
+  a();
+  EXPECT_EQ(*counter, 2);
+}
+
+TEST(InplaceFunction, LargeCaptureBoxesAndStillWorks) {
+  // A capture bigger than the inline buffer takes the boxed path; the
+  // destructor must release it exactly once (ASan would flag otherwise).
+  struct Big {
+    char payload[200] = {0};
+    std::shared_ptr<int> counter;
+  };
+  auto counter = std::make_shared<int>(0);
+  Big big;
+  big.counter = counter;
+  {
+    sim::InplaceFunction<64> f([big] { ++*big.counter; });
+    static_assert(sizeof(big) > 64);
+    f();
+    sim::InplaceFunction<64> g(std::move(f));
+    g();
+  }
+  EXPECT_EQ(*counter, 2);
+  EXPECT_EQ(counter.use_count(), 2);  // only `counter` and big's copy remain
+}
+
+TEST(InplaceFunction, DestroysCaptureWhenCleared) {
+  auto token = std::make_shared<int>(7);
+  sim::InplaceFunction<64> f([token] {});
+  EXPECT_EQ(token.use_count(), 2);
+  f = nullptr;
+  EXPECT_EQ(token.use_count(), 1);
+}
+
+// ---- trial pool -------------------------------------------------------------
+
+TEST(TrialPool, ResultsComeBackInIndexOrder) {
+  sim::TrialPool pool(4);
+  const std::vector<std::uint64_t> out = pool.map<std::uint64_t>(
+      100, [](std::size_t i) { return i * i; });
+  ASSERT_EQ(out.size(), 100u);
+  for (std::size_t i = 0; i < out.size(); ++i) EXPECT_EQ(out[i], i * i);
+}
+
+TEST(TrialPool, MatchesSerialLoopForSeededEngineTrials) {
+  // The core promise: a parallel ensemble of isolated engine trials is
+  // byte-identical to the serial loop, whatever the worker count.
+  auto trial = [](std::size_t i) {
+    sim::Engine e;
+    sim::Rng rng(0xfeed + i);
+    std::uint64_t digest = 0;
+    for (int k = 0; k < 200; ++k) {
+      const sim::Time at = rng.uniform_time(1, 1000);
+      auto id = e.schedule_at(at, [&digest, &e] { digest ^= e.now() * 31; });
+      if (rng.chance(0.25)) e.cancel(id);
+    }
+    e.run();
+    return digest ^ e.executed();
+  };
+  std::vector<std::uint64_t> serial;
+  for (std::size_t i = 0; i < 64; ++i) serial.push_back(trial(i));
+  for (unsigned workers : {1u, 3u, 8u}) {
+    sim::TrialPool pool(workers);
+    EXPECT_EQ(pool.workers(), workers);
+    EXPECT_EQ(pool.map<std::uint64_t>(64, trial), serial);
+  }
+}
+
+TEST(TrialPool, ReusableAcrossSweeps) {
+  sim::TrialPool pool(2);
+  for (int sweep = 0; sweep < 10; ++sweep) {
+    const std::vector<int> out =
+        pool.map<int>(17, [sweep](std::size_t i) {
+          return sweep * 100 + static_cast<int>(i);
+        });
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      EXPECT_EQ(out[i], sweep * 100 + static_cast<int>(i));
+    }
+  }
+}
+
+TEST(TrialPool, PropagatesFirstException) {
+  sim::TrialPool pool(2);
+  EXPECT_THROW(pool.run_indexed(32,
+                                [](std::size_t i) {
+                                  if (i == 5) throw std::runtime_error("boom");
+                                }),
+               std::runtime_error);
+  // The pool survives a failed sweep.
+  const std::vector<int> out =
+      pool.map<int>(4, [](std::size_t i) { return static_cast<int>(i); });
+  EXPECT_EQ(out, (std::vector<int>{0, 1, 2, 3}));
 }
 
 // ---- time ---------------------------------------------------------------------
