@@ -44,12 +44,12 @@ void application_main(cfg::Communicator& comm, testbed::Grid& grid) {
       }
       util::Writer w;
       w.i64(hops + 1);
-      comm.send(next, 1, w.take());
+      comm.send(next, 1, w.take_bytes());
     });
     if (comm.rank() == 0) {
       util::Writer w;
       w.i64(1);
-      comm.send(next, 1, w.take());
+      comm.send(next, 1, w.take_bytes());
     }
   });
 }

@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
-# Builds the Release bench preset, runs the engine microbench and the retry
-# ablation, and diffs the fresh BENCH_engine.json against the committed
-# baseline, warning when any throughput figure regressed by more than 20%.
+# Builds the Release bench preset, runs the engine and message-path
+# microbenches plus the retry ablation, and diffs each fresh BENCH_*.json
+# against its committed baseline, warning when any throughput figure
+# regressed by more than 20%.
 #
 # Usage: scripts/run_benches.sh
 # Exit code: non-zero if a bench itself fails its shape check; regressions
@@ -19,18 +20,25 @@ status=0
 
 echo
 echo "== bench/micro_engine =="
-fresh_json="build-bench/BENCH_engine.json"
-./build-bench/bench/micro_engine "$fresh_json" || status=1
+fresh_engine_json="build-bench/BENCH_engine.json"
+./build-bench/bench/micro_engine "$fresh_engine_json" || status=1
+
+echo
+echo "== bench/micro_net =="
+fresh_net_json="build-bench/BENCH_net.json"
+./build-bench/bench/micro_net "$fresh_net_json" || status=1
 
 echo
 echo "== bench/ablate_retry =="
 ./build-bench/bench/ablate_retry || status=1
 
-baseline="BENCH_engine.json"
-if [[ -f "$baseline" && -f "$fresh_json" ]]; then
+# diff_json <committed baseline> <fresh output>
+diff_json() {
+  local baseline="$1" fresh="$2"
+  [[ -f "$baseline" && -f "$fresh" ]] || return 0
   echo
   echo "== regression check vs committed $baseline (warn at >20%) =="
-  python3 - "$baseline" "$fresh_json" <<'PY'
+  python3 - "$baseline" "$fresh" <<'PY'
 import json, sys
 
 with open(sys.argv[1]) as f:
@@ -67,6 +75,9 @@ if worst:
 else:
     print("\nno >20% regressions against the committed baseline.")
 PY
-fi
+}
+
+diff_json BENCH_engine.json "$fresh_engine_json"
+diff_json BENCH_net.json "$fresh_net_json"
 
 exit $status

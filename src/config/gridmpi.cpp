@@ -15,7 +15,7 @@ Communicator::Communicator(net::Endpoint& endpoint, core::ReleaseInfo info)
 
 Communicator::~Communicator() = default;
 
-void Communicator::raw_send(net::NodeId node, util::Bytes frame) {
+void Communicator::raw_send(net::NodeId node, sim::Payload frame) {
   endpoint_->notify(node, kNotifyGridMpi, std::move(frame));
 }
 
@@ -49,10 +49,11 @@ void Communicator::init(std::function<void()> on_ready) {
   w.i32(runtime_.my_subjob());
   w.varint(my_subjob_nodes_.size());
   for (net::NodeId n : my_subjob_nodes_) w.u32(n);
-  const util::Bytes frame = w.take();
+  const sim::Payload frame =
+      net::Endpoint::encode_notify(kNotifyGridMpi, w.take());
   for (std::int32_t s = 0; s < nsub; ++s) {
     if (s == runtime_.my_subjob()) continue;
-    raw_send(runtime_.subjob_leader(s), util::Bytes(frame));
+    endpoint_->notify_frame(runtime_.subjob_leader(s), frame.share());
   }
   maybe_broadcast_table();
 }
@@ -88,9 +89,10 @@ void Communicator::maybe_broadcast_table() {
   w.u8(kFullTable);
   w.varint(table.size());
   for (net::NodeId n : table) w.u32(n);
-  const util::Bytes frame = w.take();
+  const sim::Payload frame =
+      net::Endpoint::encode_notify(kNotifyGridMpi, w.take());
   for (std::size_t r = 1; r < my_subjob_nodes_.size(); ++r) {
-    raw_send(my_subjob_nodes_[r], util::Bytes(frame));
+    endpoint_->notify_frame(my_subjob_nodes_[r], frame.share());
   }
   adopt_table(std::move(table));
 }
@@ -142,8 +144,10 @@ void Communicator::handle(net::NodeId /*src*/, util::Reader& r) {
         barrier_arrivals_ -= size();
         util::Writer w;
         w.u8(kBarrierLeave);
+        const sim::Payload frame =
+            net::Endpoint::encode_notify(kNotifyGridMpi, w.take());
         for (std::int32_t g = 1; g < size(); ++g) {
-          raw_send(address_of(g), util::Bytes(w.bytes()));
+          endpoint_->notify_frame(address_of(g), frame.share());
         }
         if (!barrier_waiters_.empty()) {
           auto cb = std::move(barrier_waiters_.front());
@@ -205,8 +209,10 @@ void Communicator::handle(net::NodeId /*src*/, util::Reader& r) {
         w.u8(kReduceResult);
         w.u64(seq);
         w.i64(total);
+        const sim::Payload frame =
+            net::Endpoint::encode_notify(kNotifyGridMpi, w.take());
         for (std::int32_t g = 1; g < size(); ++g) {
-          raw_send(address_of(g), util::Bytes(w.bytes()));
+          endpoint_->notify_frame(address_of(g), frame.share());
         }
         auto it = reduce_waiters_.find(seq);
         if (it != reduce_waiters_.end()) {
@@ -326,10 +332,11 @@ void Communicator::bcast(std::int32_t root, util::Bytes payload,
     w.u8(kBcast);
     w.u64(seq);
     w.blob(payload);
-    const util::Bytes frame = w.take();
+    const sim::Payload frame =
+        net::Endpoint::encode_notify(kNotifyGridMpi, w.take());
     for (std::int32_t g = 0; g < size(); ++g) {
       if (g == root) continue;
-      raw_send(address_of(g), util::Bytes(frame));
+      endpoint_->notify_frame(address_of(g), frame.share());
     }
     on_done(std::move(payload));
     return;

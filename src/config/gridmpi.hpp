@@ -104,7 +104,7 @@ class Communicator {
   void maybe_broadcast_table();
   void adopt_table(std::vector<net::NodeId> table);
   net::NodeId address_of(std::int32_t global_rank) const;
-  void raw_send(net::NodeId node, util::Bytes frame);
+  void raw_send(net::NodeId node, sim::Payload frame);
   void deliver_user(std::int32_t src_rank, std::int32_t tag,
                     const util::Bytes& blob);
 

@@ -73,14 +73,14 @@ void BarrierClient::enter(bool ok, const std::string& message,
   msg.message = message;
   util::Writer w;
   msg.encode(w);
-  checkin_payload_ = w.take();
+  checkin_frame_ = net::Endpoint::encode_notify(kNotifyCheckin, w.take());
   send_checkin();
 }
 
 void BarrierClient::send_checkin() {
   if (settled_) return;
   ++checkins_sent_;
-  endpoint_.notify(contact_, kNotifyCheckin, util::Bytes(checkin_payload_));
+  endpoint_.notify_frame(contact_, checkin_frame_.share());
   if (resend_period_ > 0) {
     resend_event_ = endpoint_.engine().schedule_after(
         resend_period_, [this] { send_checkin(); });

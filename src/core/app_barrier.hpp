@@ -75,7 +75,9 @@ class BarrierClient {
   ReleaseFn on_release_;
   AbortFn on_abort_;
   sim::Time resend_period_ = 0;
-  util::Bytes checkin_payload_;
+  /// The check-in, pre-framed once at enter(); re-sends share the same
+  /// pooled buffer instead of re-encoding or copying.
+  sim::Payload checkin_frame_;
   sim::EventId resend_event_;
   std::uint64_t checkins_sent_ = 0;
   bool settled_ = false;  // release or abort observed: stop re-sending

@@ -43,6 +43,9 @@ std::string to_string(RequestState s) {
 }
 
 void RuntimeConfig::encode(util::Writer& w) const {
+  std::size_t need = 17;
+  for (const SubjobLayout& s : subjobs) need += 29 + s.contact.size();
+  w.reserve(need);
   w.u64(request);
   w.i32(total_processes);
   w.varint(subjobs.size());
@@ -68,7 +71,8 @@ RuntimeConfig RuntimeConfig::decode(util::Reader& r) {
     s.size = r.i32();
     s.rank_base = r.i32();
     s.leader = r.u32();
-    s.contact = r.str();
+    const std::string_view contact = r.str_view();
+    s.contact.assign(contact.begin(), contact.end());
     c.subjobs.push_back(std::move(s));
   }
   return c;
@@ -76,6 +80,7 @@ RuntimeConfig RuntimeConfig::decode(util::Reader& r) {
 
 void ReleaseInfo::encode(util::Writer& w) const {
   config.encode(w);
+  w.reserve(17 + 4 * subjob_members.size());
   w.i32(subjob_index);
   w.i32(local_rank);
   w.i32(global_rank);
@@ -97,6 +102,7 @@ ReleaseInfo ReleaseInfo::decode(util::Reader& r) {
 }
 
 void CheckinMessage::encode(util::Writer& w) const {
+  w.reserve(34 + message.size());
   w.u64(request);
   w.u64(subjob);
   w.u64(gram_job);
@@ -112,7 +118,8 @@ CheckinMessage CheckinMessage::decode(util::Reader& r) {
   m.gram_job = r.u64();
   m.rank = r.i32();
   m.ok = r.boolean();
-  m.message = r.str();
+  const std::string_view msg = r.str_view();
+  m.message.assign(msg.begin(), msg.end());
   return m;
 }
 
@@ -129,6 +136,7 @@ ReleaseMessage ReleaseMessage::decode(util::Reader& r) {
 }
 
 void AbortMessage::encode(util::Writer& w) const {
+  w.reserve(13 + reason.size());
   w.u64(request);
   w.str(reason);
 }
@@ -136,7 +144,8 @@ void AbortMessage::encode(util::Writer& w) const {
 AbortMessage AbortMessage::decode(util::Reader& r) {
   AbortMessage m;
   m.request = r.u64();
-  m.reason = r.str();
+  const std::string_view reason = r.str_view();
+  m.reason.assign(reason.begin(), reason.end());
   return m;
 }
 

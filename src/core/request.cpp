@@ -567,11 +567,13 @@ void CoallocationRequest::abort_subjob_processes(Subjob& sj,
   AbortMessage msg{id_, reason};
   util::Writer w;
   msg.encode(w);
-  const util::Bytes payload = w.take();
+  // One encode, one buffer: every checked-in process gets a share of the
+  // same pooled frame.
+  const sim::Payload frame =
+      net::Endpoint::encode_notify(kNotifyAbort, w.take());
   for (std::size_t rank = 0; rank < sj.process_nodes.size(); ++rank) {
     if (sj.checked[rank] && sj.process_nodes[rank] != net::kInvalidNode) {
-      owner_->endpoint().notify(sj.process_nodes[rank], kNotifyAbort,
-                                util::Bytes(payload));
+      owner_->endpoint().notify_frame(sj.process_nodes[rank], frame.share());
     }
   }
 }

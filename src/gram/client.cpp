@@ -61,7 +61,7 @@ void Client::auth_attempt(std::shared_ptr<AuthRetryState> state, int n) {
 }
 
 void Client::idempotent_call(net::NodeId dst, std::uint32_t method,
-                             util::Bytes args, sim::Time timeout,
+                             sim::Payload args, sim::Time timeout,
                              net::Endpoint::ResponseFn on_response) {
   if (retry_.has_value()) {
     net::RetryPolicy policy = *retry_;

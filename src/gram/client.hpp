@@ -103,7 +103,7 @@ class Client {
   void auth_attempt(std::shared_ptr<AuthRetryState> state, int attempt);
   /// Issues `method` with the retry policy when set, one-shot otherwise.
   void idempotent_call(net::NodeId dst, std::uint32_t method,
-                       util::Bytes args, sim::Time timeout,
+                       sim::Payload args, sim::Time timeout,
                        net::Endpoint::ResponseFn on_response);
 
   net::Endpoint* endpoint_;

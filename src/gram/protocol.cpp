@@ -19,6 +19,7 @@ std::string to_string(JobState s) {
 }
 
 void JobRequestArgs::encode(util::Writer& w) const {
+  w.reserve(22 + rsl.size());
   w.u64(session_token);
   w.str(rsl);
   w.u32(callback_contact);
@@ -27,12 +28,14 @@ void JobRequestArgs::encode(util::Writer& w) const {
 JobRequestArgs JobRequestArgs::decode(util::Reader& r) {
   JobRequestArgs a;
   a.session_token = r.u64();
-  a.rsl = r.str();
+  const std::string_view rsl = r.str_view();
+  a.rsl.assign(rsl.begin(), rsl.end());
   a.callback_contact = r.u32();
   return a;
 }
 
 void ReserveArgs::encode(util::Writer& w) const {
+  w.reserve(28);
   w.u64(session_token);
   w.i64(start);
   w.i64(end);
@@ -49,6 +52,7 @@ ReserveArgs ReserveArgs::decode(util::Reader& r) {
 }
 
 void encode_state_change(util::Writer& w, const JobStateChange& change) {
+  w.reserve(23 + change.message.size());
   w.u64(change.job);
   w.u8(static_cast<std::uint8_t>(change.state));
   w.u8(static_cast<std::uint8_t>(change.error));
@@ -61,7 +65,8 @@ JobStateChange decode_state_change(util::Reader& r) {
   c.job = r.u64();
   c.state = static_cast<JobState>(r.u8());
   c.error = static_cast<util::ErrorCode>(r.u8());
-  c.message = r.str();
+  const std::string_view msg = r.str_view();
+  c.message.assign(msg.begin(), msg.end());
   c.at = r.i64();
   return c;
 }

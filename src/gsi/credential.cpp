@@ -22,6 +22,7 @@ std::uint64_t fnv1a(std::uint64_t h, std::uint64_t v) {
 }  // namespace
 
 void Credential::encode(util::Writer& w) const {
+  w.reserve(26 + subject.size() + issuer.size());
   w.str(subject);
   w.str(issuer);
   w.i64(not_after);
@@ -30,8 +31,10 @@ void Credential::encode(util::Writer& w) const {
 
 Credential Credential::decode(util::Reader& r) {
   Credential c;
-  c.subject = r.str();
-  c.issuer = r.str();
+  const std::string_view subject = r.str_view();
+  c.subject.assign(subject.begin(), subject.end());
+  const std::string_view issuer = r.str_view();
+  c.issuer.assign(issuer.begin(), issuer.end());
   c.not_after = r.i64();
   c.signature = r.u64();
   return c;

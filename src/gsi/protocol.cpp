@@ -62,6 +62,7 @@ void ServerContext::handle_init(net::NodeId caller, std::uint64_t call_id,
             0x9e3779b97f4a7c15ULL * handshake_id ^ 0x5bf03635ULL;
         pending_[handshake_id] = PendingHandshake{cred.subject, challenge};
         util::Writer w;
+        w.reserve(18);
         identity_.encode(w);
         w.varint(handshake_id);
         w.u64(challenge);
@@ -108,6 +109,7 @@ void ServerContext::handle_final(net::NodeId caller, std::uint64_t call_id,
         session.expires = endpoint_->engine().now() + sim::kHour;
         sessions_[session.token] = session;
         util::Writer w;
+        w.reserve(22 + session.local_user.size());
         w.u64(session.token);
         w.str(session.local_user);
         w.i64(session.expires);
@@ -194,7 +196,8 @@ void ClientContext::authenticate(net::NodeId server, sim::Time timeout,
                       }
                       Session session;
                       session.token = reply2.u64();
-                      session.local_user = reply2.str();
+                      const std::string_view lu = reply2.str_view();
+                      session.local_user.assign(lu.begin(), lu.end());
                       session.expires = reply2.i64();
                       session.subject = flow->identity.subject;
                       if (!reply2.ok()) {

@@ -43,13 +43,22 @@ void Network::set_latency_model(std::unique_ptr<LatencyModel> model) {
 }
 
 util::Status Network::send(NodeId src, NodeId dst, std::uint32_t kind,
-                           util::Bytes payload) {
+                           sim::Payload payload) {
   auto sit = nodes_.find(src);
   if (sit == nodes_.end()) {
     return {util::ErrorCode::kInvalidArgument, "send from unknown node"};
   }
   ++stats_.sent;
   stats_.bytes_sent += payload.size();
+  if (payload.attached()) {
+    if (payload.recycled()) {
+      ++stats_.payloads_recycled;
+    } else {
+      ++stats_.payloads_fresh;
+    }
+  }
+  // Step order below is the determinism contract documented on send() in
+  // network.hpp: drop checks BEFORE the latency-model consult.
   if (!sit->second.up) {
     // A crashed host cannot transmit.
     ++stats_.dropped_down;
@@ -88,6 +97,7 @@ void Network::deliver(Message msg, std::uint64_t src_epoch,
     return;
   }
   ++stats_.delivered;
+  stats_.bytes_delivered += msg.payload.size();
   it->second.node->handle_message(msg);
 }
 

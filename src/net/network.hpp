@@ -26,12 +26,14 @@ using NodeId = std::uint32_t;
 inline constexpr NodeId kInvalidNode = 0;
 
 /// A framed message in flight.  `kind` is a frame type owned by the layer
-/// above (see rpc.hpp); `payload` is codec-encoded bytes.
+/// above (see rpc.hpp); `payload` is a pooled buffer of codec-encoded
+/// bytes.  Move-only: the payload buffer travels sender -> network ->
+/// receiver without ever being copied (fan-out paths `share()` it).
 struct Message {
   NodeId src = kInvalidNode;
   NodeId dst = kInvalidNode;
   std::uint32_t kind = 0;
-  util::Bytes payload;
+  sim::Payload payload;
 };
 
 /// Implemented by every simulated entity that receives messages.
@@ -112,6 +114,13 @@ struct NetworkStats {
   std::uint64_t dropped_partition = 0;  // src-dst pair partitioned
   std::uint64_t dropped_random = 0;     // injected loss
   std::uint64_t bytes_sent = 0;
+  std::uint64_t bytes_delivered = 0;
+  // Message-path allocation accounting: how many sent payloads rode a
+  // buffer recycled from the pool vs. a fresh heap allocation.  Benches
+  // and chaos tests assert budgets against these (steady state should be
+  // almost entirely recycled).  Payload-less messages count in neither.
+  std::uint64_t payloads_fresh = 0;
+  std::uint64_t payloads_recycled = 0;
   // RPC retry layer (Endpoint::retrying_call).
   std::uint64_t rpc_retries = 0;          // re-issued attempts
   std::uint64_t rpc_retry_successes = 0;  // calls that recovered via retry
@@ -135,11 +144,27 @@ class Network {
   /// client-resource distance in §4.2).
   void set_latency_model(std::unique_ptr<LatencyModel> model);
 
-  /// Sends a message.  Returns InvalidArgument for unknown src, but unknown
-  /// or crashed destinations are *not* an error at send time: the message is
-  /// silently dropped in flight, as on a real network.
+  /// Sends a message; the payload buffer is moved, never copied.  Returns
+  /// InvalidArgument for unknown src, but unknown or crashed destinations
+  /// are *not* an error at send time: the message is silently dropped in
+  /// flight, as on a real network.
+  ///
+  /// Determinism contract (ordering of the RNG-consuming steps, relied on
+  /// for byte-identical seeded trials — see net_test's coverage):
+  ///   1. send-side drop checks run FIRST: a message dropped because the
+  ///      source is down or by injected random loss never consults the
+  ///      latency model, so dropped sends do not advance a stateful
+  ///      model's RNG (JitterLatency) and later deliveries keep their
+  ///      timing regardless of earlier losses;
+  ///   2. the random-loss check itself consumes one draw from the drop RNG
+  ///      per message that reaches it (only when drop_probability > 0);
+  ///   3. the latency model is consulted exactly once per message that
+  ///      survives the send-side checks — including messages later dropped
+  ///      at DELIVERY time (partition, crash epoch, detach), which have
+  ///      already consumed their latency draw by design: the partition
+  ///      swallows the message in flight, it does not un-send it.
   util::Status send(NodeId src, NodeId dst, std::uint32_t kind,
-                    util::Bytes payload);
+                    sim::Payload payload);
 
   /// Crash (up=false) or restore (up=true) a node.  Crashing invokes
   /// Node::on_crash and drops all in-flight messages to and from the node.

@@ -14,18 +14,19 @@ Endpoint::~Endpoint() {
   // captures `this`: cancel every per-call timeout and every retry backoff
   // timer (each holds a lambda over this endpoint — a use-after-free if it
   // ever fired after destruction).  Callbacks simply never fire.
-  for (auto& [call_id, pc] : pending_) {
+  pending_.for_each([this](std::uint64_t, PendingCall& pc) {
     engine().cancel(pc.timeout_event);
-  }
+  });
   drop_retrying_calls();
   network_->detach(id_);
 }
 
 std::uint64_t Endpoint::call(NodeId dst, std::uint32_t method,
-                             util::Bytes args, sim::Time timeout,
+                             sim::Payload args, sim::Time timeout,
                              ResponseFn on_response) {
   const std::uint64_t call_id = next_call_id_++;
   util::Writer w;
+  w.reserve(16 + args.size());
   w.varint(call_id);
   w.u32(method);
   w.blob(args);
@@ -42,15 +43,15 @@ std::uint64_t Endpoint::call(NodeId dst, std::uint32_t method,
 }
 
 bool Endpoint::cancel_call(std::uint64_t call_id) {
-  auto it = pending_.find(call_id);
-  if (it == pending_.end()) return false;
-  engine().cancel(it->second.timeout_event);
-  pending_.erase(it);
+  PendingCall* pc = pending_.find(call_id);
+  if (pc == nullptr) return false;
+  engine().cancel(pc->timeout_event);
+  pending_.erase(call_id);
   return true;
 }
 
 std::uint64_t Endpoint::retrying_call(NodeId dst, std::uint32_t method,
-                                      util::Bytes args,
+                                      sim::Payload args,
                                       const RetryPolicy& policy,
                                       ResponseFn on_response) {
   const std::uint64_t ticket = next_call_id_++;
@@ -66,26 +67,24 @@ std::uint64_t Endpoint::retrying_call(NodeId dst, std::uint32_t method,
 }
 
 bool Endpoint::cancel_retrying_call(std::uint64_t ticket) {
-  auto it = retrying_.find(ticket);
-  if (it == retrying_.end()) return false;
-  engine().cancel(it->second.backoff_event);
-  if (it->second.inner_call != 0) cancel_call(it->second.inner_call);
-  retrying_.erase(it);
+  RetryingCall* rc = retrying_.find(ticket);
+  if (rc == nullptr) return false;
+  engine().cancel(rc->backoff_event);
+  if (rc->inner_call != 0) cancel_call(rc->inner_call);
+  retrying_.erase(ticket);
   return true;
 }
 
 void Endpoint::issue_attempt(std::uint64_t ticket) {
-  auto it = retrying_.find(ticket);
-  if (it == retrying_.end()) return;
-  RetryingCall& rc = it->second;
-  const RetryPolicy& policy = rc.schedule.policy();
+  RetryingCall* rc = retrying_.find(ticket);
+  if (rc == nullptr) return;
+  const RetryPolicy& policy = rc->schedule.policy();
   sim::Time timeout = policy.attempt_timeout;
   if (policy.overall_deadline > 0) {
     const sim::Time remaining =
-        rc.started_at + policy.overall_deadline - engine().now();
+        rc->started_at + policy.overall_deadline - engine().now();
     if (remaining <= 0) {
-      util::Bytes empty;
-      util::Reader r(empty);
+      util::Reader r(nullptr, 0);
       on_attempt_response(
           ticket,
           util::Status(util::ErrorCode::kTimeout, "rpc deadline exhausted"),
@@ -94,10 +93,14 @@ void Endpoint::issue_attempt(std::uint64_t ticket) {
     }
     if (timeout <= 0 || remaining < timeout) timeout = remaining;
   }
-  ++rc.attempt;
-  if (rc.attempt > 1) ++network_->mutable_stats().rpc_retries;
-  rc.inner_call =
-      call(rc.dst, rc.method, rc.args, timeout,
+  ++rc->attempt;
+  if (rc->attempt > 1) ++network_->mutable_stats().rpc_retries;
+  // The frozen args buffer is shared into the attempt; call() only reads
+  // it (copying into the frame), so re-sends never re-encode.  Note the
+  // inner call lives in pending_, a different slab than retrying_, so
+  // `rc` stays valid across the call.
+  rc->inner_call =
+      call(rc->dst, rc->method, rc->args.share(), timeout,
            [this, ticket](const util::Status& status, util::Reader& result) {
              on_attempt_response(ticket, status, result);
            });
@@ -106,68 +109,65 @@ void Endpoint::issue_attempt(std::uint64_t ticket) {
 void Endpoint::on_attempt_response(std::uint64_t ticket,
                                    const util::Status& status,
                                    util::Reader& result) {
-  auto it = retrying_.find(ticket);
-  if (it == retrying_.end()) return;  // cancelled mid-flight
-  RetryingCall& rc = it->second;
-  rc.inner_call = 0;
-  const RetryPolicy& policy = rc.schedule.policy();
+  RetryingCall* rc = retrying_.find(ticket);
+  if (rc == nullptr) return;  // cancelled mid-flight
+  rc->inner_call = 0;
+  const RetryPolicy& policy = rc->schedule.policy();
   if (status.code() != util::ErrorCode::kTimeout) {
     // Success or a definitive (non-retryable) error: deliver it.
-    if (status.is_ok() && rc.attempt > 1) {
+    if (status.is_ok() && rc->attempt > 1) {
       ++network_->mutable_stats().rpc_retry_successes;
     }
-    ResponseFn fn = std::move(rc.on_response);
-    retrying_.erase(it);
+    ResponseFn fn = std::move(rc->on_response);
+    retrying_.erase(ticket);
     fn(status, result);
     return;
   }
   const sim::Time deadline = policy.overall_deadline > 0
-                                 ? rc.started_at + policy.overall_deadline
+                                 ? rc->started_at + policy.overall_deadline
                                  : sim::kTimeNever;
   sim::Time backoff = 0;
-  bool exhausted = rc.attempt >= policy.max_attempts;
+  bool exhausted = rc->attempt >= policy.max_attempts;
   if (!exhausted) {
-    backoff = rc.schedule.backoff_before(rc.attempt + 1);
+    backoff = rc->schedule.backoff_before(rc->attempt + 1);
     // No attempt may start at or past the deadline.
     exhausted = engine().now() + backoff >= deadline;
   }
   if (exhausted) {
     ++network_->mutable_stats().rpc_retry_exhausted;
-    const int attempts = rc.attempt;
-    ResponseFn fn = std::move(rc.on_response);
-    retrying_.erase(it);
-    util::Bytes empty;
-    util::Reader r(empty);
+    const int attempts = rc->attempt;
+    ResponseFn fn = std::move(rc->on_response);
+    retrying_.erase(ticket);
+    util::Reader r(nullptr, 0);
     fn(util::Status(util::ErrorCode::kTimeout,
                     "rpc timeout after " + std::to_string(attempts) +
                         " attempt(s)"),
        r);
     return;
   }
-  rc.backoff_event =
+  rc->backoff_event =
       engine().schedule_after(backoff, [this, ticket] {
-        auto rit = retrying_.find(ticket);
-        if (rit != retrying_.end()) rit->second.backoff_event = {};
+        RetryingCall* rit = retrying_.find(ticket);
+        if (rit != nullptr) rit->backoff_event = {};
         issue_attempt(ticket);
       });
 }
 
 void Endpoint::drop_retrying_calls() {
-  for (auto& [ticket, rc] : retrying_) {
+  retrying_.for_each([this](std::uint64_t, RetryingCall& rc) {
     engine().cancel(rc.backoff_event);
-  }
+  });
   retrying_.clear();
 }
 
 void Endpoint::fail_call(std::uint64_t call_id, util::ErrorCode code,
                          const std::string& message) {
-  auto it = pending_.find(call_id);
-  if (it == pending_.end()) return;
-  ResponseFn fn = std::move(it->second.on_response);
-  engine().cancel(it->second.timeout_event);
-  pending_.erase(it);
-  util::Bytes empty;
-  util::Reader r(empty);
+  PendingCall* pc = pending_.find(call_id);
+  if (pc == nullptr) return;
+  ResponseFn fn = std::move(pc->on_response);
+  engine().cancel(pc->timeout_event);
+  pending_.erase(call_id);
+  util::Reader r(nullptr, 0);
   const util::Status status(code, message);
   fn(status, r);
 }
@@ -177,8 +177,9 @@ void Endpoint::register_method(std::uint32_t method, MethodHandler handler) {
 }
 
 void Endpoint::respond(NodeId caller, std::uint64_t call_id,
-                       util::Bytes result) {
+                       sim::Payload result) {
   util::Writer w;
+  w.reserve(12 + result.size());
   w.varint(call_id);
   w.boolean(true);
   w.blob(result);
@@ -188,6 +189,7 @@ void Endpoint::respond(NodeId caller, std::uint64_t call_id,
 void Endpoint::respond_error(NodeId caller, std::uint64_t call_id,
                              util::ErrorCode code, std::string message) {
   util::Writer w;
+  w.reserve(13 + message.size());
   w.varint(call_id);
   w.boolean(false);
   w.u8(static_cast<std::uint8_t>(code));
@@ -195,11 +197,21 @@ void Endpoint::respond_error(NodeId caller, std::uint64_t call_id,
   network_->send(id_, caller, kFrameResponse, w.take());
 }
 
-void Endpoint::notify(NodeId dst, std::uint32_t kind, util::Bytes payload) {
+void Endpoint::notify(NodeId dst, std::uint32_t kind, sim::Payload payload) {
+  notify_frame(dst, encode_notify(kind, payload));
+}
+
+sim::Payload Endpoint::encode_notify(std::uint32_t kind,
+                                     const sim::Payload& payload) {
   util::Writer w;
+  w.reserve(14 + payload.size());
   w.u32(kind);
   w.blob(payload);
-  network_->send(id_, dst, kFrameNotify, w.take());
+  return w.take();
+}
+
+void Endpoint::notify_frame(NodeId dst, sim::Payload frame) {
+  network_->send(id_, dst, kFrameNotify, std::move(frame));
 }
 
 void Endpoint::register_notify(std::uint32_t kind, NotifyHandler handler) {
@@ -213,7 +225,9 @@ void Endpoint::handle_message(const Message& msg) {
     case kFrameRequest: {
       const std::uint64_t call_id = r.varint();
       const std::uint32_t method = r.u32();
-      const util::Bytes args = r.blob();
+      // View into the message buffer: the args reader borrows the payload
+      // for the duration of the handler, no copy.
+      const auto args = r.blob_view();
       if (!r.ok()) return;  // malformed frame: drop
       auto it = methods_.find(method);
       if (it == methods_.end()) {
@@ -221,34 +235,32 @@ void Endpoint::handle_message(const Message& msg) {
                       "unknown method " + std::to_string(method));
         return;
       }
-      util::Reader args_reader(args);
+      util::Reader args_reader(args.data(), args.size());
       it->second(msg.src, call_id, args_reader);
       return;
     }
     case kFrameResponse: {
       const std::uint64_t call_id = r.varint();
       const bool ok = r.boolean();
-      auto it = pending_.find(call_id);
-      if (it == pending_.end()) return;  // late or cancelled: ignore
-      ResponseFn fn = std::move(it->second.on_response);
-      engine().cancel(it->second.timeout_event);
-      pending_.erase(it);
+      PendingCall* pc = pending_.find(call_id);
+      if (pc == nullptr) return;  // late or cancelled: ignore
+      ResponseFn fn = std::move(pc->on_response);
+      engine().cancel(pc->timeout_event);
+      pending_.erase(call_id);
       if (ok) {
-        const util::Bytes result = r.blob();
+        const auto result = r.blob_view();
         if (!r.ok()) {
-          util::Bytes empty;
-          util::Reader rr(empty);
+          util::Reader rr(nullptr, 0);
           fn(util::Status(util::ErrorCode::kInternal, "malformed response"),
              rr);
           return;
         }
-        util::Reader result_reader(result);
+        util::Reader result_reader(result.data(), result.size());
         fn(util::Status::ok(), result_reader);
       } else {
         const auto code = static_cast<util::ErrorCode>(r.u8());
         const std::string message = r.str();
-        util::Bytes empty;
-        util::Reader rr(empty);
+        util::Reader rr(nullptr, 0);
         fn(util::Status(r.ok() ? code : util::ErrorCode::kInternal, message),
            rr);
       }
@@ -256,11 +268,11 @@ void Endpoint::handle_message(const Message& msg) {
     }
     case kFrameNotify: {
       const std::uint32_t kind = r.u32();
-      const util::Bytes payload = r.blob();
+      const auto payload = r.blob_view();
       if (!r.ok()) return;
       auto it = notifies_.find(kind);
       if (it == notifies_.end()) return;
-      util::Reader payload_reader(payload);
+      util::Reader payload_reader(payload.data(), payload.size());
       it->second(msg.src, payload_reader);
       return;
     }
@@ -271,9 +283,9 @@ void Endpoint::handle_message(const Message& msg) {
 
 void Endpoint::on_crash() {
   crashed_ = true;
-  for (auto& [call_id, pc] : pending_) {
+  pending_.for_each([this](std::uint64_t, PendingCall& pc) {
     engine().cancel(pc.timeout_event);
-  }
+  });
   pending_.clear();
   // Retrying calls die with the host: a crashed client must not wake up
   // from a backoff timer and transmit.

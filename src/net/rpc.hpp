@@ -4,6 +4,13 @@
 // barrier) is an Endpoint.  Calls carry an id, are matched to responses,
 // and fail with kTimeout when the peer is crashed, partitioned, or slow —
 // giving the co-allocation layer the realistic failure surface it needs.
+//
+// Hot-path memory model: call/response args travel in pooled payload
+// buffers (simkit/bufpool.hpp), in-flight call state lives in slab tables
+// recycled through free lists (simkit/idmap.hpp), and response callbacks
+// are InplaceFunction so typical captures (a pointer, a ticket, a small
+// std::function to forward to) stay inline.  A steady-state round-trip
+// therefore touches the heap zero times — bench/micro_net asserts this.
 #pragma once
 
 #include <cstdint>
@@ -15,6 +22,8 @@
 #include "net/retry.hpp"
 #include "simkit/codec.hpp"
 #include "simkit/engine.hpp"
+#include "simkit/idmap.hpp"
+#include "simkit/inplace_function.hpp"
 #include "simkit/status.hpp"
 
 namespace grid::net {
@@ -49,13 +58,18 @@ class Endpoint : public Node {
 
   // ---- client side -------------------------------------------------------
 
+  /// 48 bytes of inline capture covers every hot response callback in the
+  /// tree (a this-pointer plus a forwarded std::function is 40); larger
+  /// captures still work, they just box.
   using ResponseFn =
-      std::function<void(const util::Status& status, util::Reader& result)>;
+      sim::InplaceFunction<48,
+                           void(const util::Status& status,
+                                util::Reader& result)>;
 
   /// Issues a call.  `timeout` <= 0 means no timeout.  Returns a call id
   /// usable with cancel_call().  The callback fires exactly once unless the
   /// call is cancelled or this endpoint crashes first.
-  std::uint64_t call(NodeId dst, std::uint32_t method, util::Bytes args,
+  std::uint64_t call(NodeId dst, std::uint32_t method, sim::Payload args,
                      sim::Time timeout, ResponseFn on_response);
 
   /// Abandons a pending call; its callback will not fire.  Returns true if
@@ -68,9 +82,10 @@ class Endpoint : public Node {
   /// The callback fires exactly once — with the first non-timeout outcome,
   /// or with a single kTimeout error once attempts/deadline are exhausted.
   /// Returns a ticket usable with cancel_retrying_call(); the ticket id
-  /// space is shared with plain call ids.
+  /// space is shared with plain call ids.  The frozen args buffer is
+  /// share()d into each attempt, so retries re-send without re-encoding.
   std::uint64_t retrying_call(NodeId dst, std::uint32_t method,
-                              util::Bytes args, const RetryPolicy& policy,
+                              sim::Payload args, const RetryPolicy& policy,
                               ResponseFn on_response);
 
   /// Abandons a retrying call between or during attempts; its callback
@@ -87,7 +102,7 @@ class Endpoint : public Node {
 
   void register_method(std::uint32_t method, MethodHandler handler);
 
-  void respond(NodeId caller, std::uint64_t call_id, util::Bytes result);
+  void respond(NodeId caller, std::uint64_t call_id, sim::Payload result);
   void respond_error(NodeId caller, std::uint64_t call_id, util::ErrorCode code,
                      std::string message);
 
@@ -95,8 +110,15 @@ class Endpoint : public Node {
 
   using NotifyHandler = std::function<void(NodeId src, util::Reader& payload)>;
 
-  void notify(NodeId dst, std::uint32_t kind, util::Bytes payload);
+  void notify(NodeId dst, std::uint32_t kind, sim::Payload payload);
   void register_notify(std::uint32_t kind, NotifyHandler handler);
+
+  /// Pre-frames a notify payload so fan-out paths (DUROC abort broadcast,
+  /// barrier check-in re-send, gridmpi tables) can encode once and send
+  /// the SAME buffer to N destinations via notify_frame(frame.share()).
+  static sim::Payload encode_notify(std::uint32_t kind,
+                                    const sim::Payload& payload);
+  void notify_frame(NodeId dst, sim::Payload frame);
 
   // ---- Node --------------------------------------------------------------
 
@@ -121,7 +143,7 @@ class Endpoint : public Node {
   struct RetryingCall {
     NodeId dst = kInvalidNode;
     std::uint32_t method = 0;
-    util::Bytes args;
+    sim::Payload args;
     RetrySchedule schedule;
     ResponseFn on_response;
     int attempt = 0;            // attempts issued so far
@@ -146,9 +168,13 @@ class Endpoint : public Node {
   NodeId id_;
   std::string name_;
   bool crashed_ = false;
+  /// Wire call ids stay a plain monotonic counter (NOT slab slot/
+  /// generation encodings): keeping id values — and so their varint
+  /// lengths — identical to the pre-slab implementation is part of the
+  /// byte-identical-results guarantee for seeded experiments.
   std::uint64_t next_call_id_ = 1;
-  std::unordered_map<std::uint64_t, PendingCall> pending_;
-  std::unordered_map<std::uint64_t, RetryingCall> retrying_;
+  sim::IdSlab<PendingCall> pending_;
+  sim::IdSlab<RetryingCall> retrying_;
   std::unordered_map<std::uint32_t, MethodHandler> methods_;
   std::unordered_map<std::uint32_t, NotifyHandler> notifies_;
 };

@@ -1,0 +1,69 @@
+#include "simkit/bufpool.hpp"
+
+#include <utility>
+
+namespace grid::sim {
+
+Payload::Payload(std::vector<std::uint8_t>&& bytes) {
+  Payload p = BufferPool::local().adopt(std::move(bytes));
+  buf_ = p.buf_;
+  p.buf_ = nullptr;
+}
+
+const std::vector<std::uint8_t>& Payload::bytes() const {
+  static const std::vector<std::uint8_t> kEmpty;
+  return buf_ != nullptr ? buf_->data : kEmpty;
+}
+
+BufferPool::~BufferPool() {
+  // Outstanding handles at pool destruction would dangle; in practice the
+  // pool is thread-local and outlives every simulation object on its
+  // thread.  Freeing here keeps leak checkers quiet at thread exit.
+  for (detail::PayloadBuffer* b : all_) delete b;
+}
+
+Payload BufferPool::acquire() {
+  ++stats_.acquired;
+  detail::PayloadBuffer* b = free_;
+  if (b != nullptr) {
+    free_ = b->next_free;
+    b->next_free = nullptr;
+    ++stats_.recycled;
+  } else {
+    b = new detail::PayloadBuffer;
+    b->pool = this;
+    all_.push_back(b);
+    ++stats_.fresh;
+  }
+  b->refs = 1;
+  return Payload(b);
+}
+
+Payload BufferPool::adopt(std::vector<std::uint8_t>&& bytes) {
+  Payload p = acquire();
+  p.buf_->data = std::move(bytes);
+  // The storage was heap-allocated by the caller, whatever the buffer
+  // wrapper's history — count the message as fresh, not recycled.
+  p.buf_->recycled = false;
+  return p;
+}
+
+void BufferPool::release(detail::PayloadBuffer* b) {
+  b->data.clear();  // keeps capacity
+  b->recycled = true;
+  b->next_free = free_;
+  free_ = b;
+}
+
+std::size_t BufferPool::free_count() const {
+  std::size_t n = 0;
+  for (detail::PayloadBuffer* b = free_; b != nullptr; b = b->next_free) ++n;
+  return n;
+}
+
+BufferPool& BufferPool::local() {
+  thread_local BufferPool pool;
+  return pool;
+}
+
+}  // namespace grid::sim

@@ -3,21 +3,25 @@
 namespace grid::util {
 
 void Writer::varint(std::uint64_t v) {
+  Bytes& b = buf();
   while (v >= 0x80) {
-    buf_.push_back(static_cast<std::uint8_t>(v) | 0x80);
+    b.push_back(static_cast<std::uint8_t>(v) | 0x80);
     v >>= 7;
   }
-  buf_.push_back(static_cast<std::uint8_t>(v));
+  b.push_back(static_cast<std::uint8_t>(v));
 }
 
 void Writer::str(std::string_view s) {
-  varint(s.size());
-  buf_.insert(buf_.end(), s.begin(), s.end());
+  blob(s.data(), s.size());
 }
 
-void Writer::blob(const Bytes& b) {
-  varint(b.size());
-  buf_.insert(buf_.end(), b.begin(), b.end());
+void Writer::blob(const void* data, std::size_t n) {
+  varint(n);
+  if (n == 0) return;  // memcpy from a null/empty source is UB
+  Bytes& b = buf();
+  const std::size_t at = b.size();
+  b.resize(at + n);
+  std::memcpy(b.data() + at, data, n);
 }
 
 bool Reader::take(std::size_t n) {
@@ -53,25 +57,25 @@ std::uint64_t Reader::varint() {
   return 0;
 }
 
-std::string Reader::str() {
+std::string_view Reader::str_view() {
   const std::uint64_t n = varint();
   if (!ok_ || size_ - pos_ < n) {
     ok_ = false;
     return {};
   }
-  std::string s(reinterpret_cast<const char*>(data_ + pos_),
-                static_cast<std::size_t>(n));
+  std::string_view s(reinterpret_cast<const char*>(data_ + pos_),
+                     static_cast<std::size_t>(n));
   pos_ += static_cast<std::size_t>(n);
   return s;
 }
 
-Bytes Reader::blob() {
+std::span<const std::uint8_t> Reader::blob_view() {
   const std::uint64_t n = varint();
   if (!ok_ || size_ - pos_ < n) {
     ok_ = false;
     return {};
   }
-  Bytes b(data_ + pos_, data_ + pos_ + n);
+  std::span<const std::uint8_t> b(data_ + pos_, static_cast<std::size_t>(n));
   pos_ += static_cast<std::size_t>(n);
   return b;
 }

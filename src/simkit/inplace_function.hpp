@@ -7,6 +7,10 @@
 // of size <= N inline and only boxes genuinely large captures.  Move-only
 // on purpose: event callbacks are scheduled once and fired once, so copies
 // would only hide accidental double-ownership of captured state.
+//
+// The signature defaults to `void()` (the engine's callback shape); other
+// users name theirs explicitly, e.g. the RPC layer's
+// `InplaceFunction<48, void(const Status&, Reader&)>` response callbacks.
 #pragma once
 
 #include <cstddef>
@@ -16,8 +20,11 @@
 
 namespace grid::sim {
 
-template <std::size_t Capacity>
-class InplaceFunction {
+template <std::size_t Capacity, typename Sig = void()>
+class InplaceFunction;  // only the R(Args...) specialization exists
+
+template <std::size_t Capacity, typename R, typename... Args>
+class InplaceFunction<Capacity, R(Args...)> {
  public:
   InplaceFunction() = default;
   InplaceFunction(std::nullptr_t) {}  // NOLINT(google-explicit-constructor)
@@ -26,7 +33,7 @@ class InplaceFunction {
             typename = std::enable_if_t<
                 !std::is_same_v<std::decay_t<F>, InplaceFunction> &&
                 !std::is_same_v<std::decay_t<F>, std::nullptr_t> &&
-                std::is_invocable_r_v<void, std::decay_t<F>&>>>
+                std::is_invocable_r_v<R, std::decay_t<F>&, Args...>>>
   InplaceFunction(F&& f) {  // NOLINT(google-explicit-constructor)
     emplace(std::forward<F>(f));
   }
@@ -47,7 +54,7 @@ class InplaceFunction {
             typename = std::enable_if_t<
                 !std::is_same_v<std::decay_t<F>, InplaceFunction> &&
                 !std::is_same_v<std::decay_t<F>, std::nullptr_t> &&
-                std::is_invocable_r_v<void, std::decay_t<F>&>>>
+                std::is_invocable_r_v<R, std::decay_t<F>&, Args...>>>
   InplaceFunction& operator=(F&& f) {
     reset();
     emplace(std::forward<F>(f));
@@ -64,11 +71,13 @@ class InplaceFunction {
     return f.ops_ == nullptr;
   }
 
-  void operator()() { ops_->invoke(&storage_); }
+  R operator()(Args... args) {
+    return ops_->invoke(&storage_, std::forward<Args>(args)...);
+  }
 
  private:
   struct Ops {
-    void (*invoke)(void*);
+    R (*invoke)(void*, Args&&...);
     // Move-constructs dst from src and destroys src.
     void (*relocate)(void* dst, void* src);
     void (*destroy)(void*);
@@ -81,7 +90,9 @@ class InplaceFunction {
 
   template <typename F>
   struct InlineOps {
-    static void invoke(void* p) { (*static_cast<F*>(p))(); }
+    static R invoke(void* p, Args&&... args) {
+      return (*static_cast<F*>(p))(std::forward<Args>(args)...);
+    }
     static void relocate(void* dst, void* src) {
       F* from = static_cast<F*>(src);
       ::new (dst) F(std::move(*from));
@@ -94,7 +105,9 @@ class InplaceFunction {
   template <typename F>
   struct BoxedOps {
     static F*& slot(void* p) { return *static_cast<F**>(p); }
-    static void invoke(void* p) { (*slot(p))(); }
+    static R invoke(void* p, Args&&... args) {
+      return (*slot(p))(std::forward<Args>(args)...);
+    }
     static void relocate(void* dst, void* src) {
       ::new (dst) F*(slot(src));
     }

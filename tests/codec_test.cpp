@@ -1,0 +1,275 @@
+// Edge-case tests for the wire codec: varint boundaries, truncated and
+// oversized inputs, overlong encodings, and the zero-copy view accessors.
+//
+// The message path trusts this codec completely — a decoder that reads one
+// byte past a length prefix, or a varint that silently wraps, corrupts
+// protocol state without crashing.  These tests pin the exact wire bytes at
+// every varint width boundary and the "reader goes bad, never throws"
+// contract on malformed input.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "simkit/bufpool.hpp"
+#include "simkit/codec.hpp"
+
+namespace grid {
+namespace {
+
+util::Bytes encode_varint(std::uint64_t v) {
+  util::Writer w;
+  w.varint(v);
+  return w.take_bytes();
+}
+
+// ---- varint width boundaries ------------------------------------------------
+
+TEST(VarintCodec, BoundaryValuesRoundTripAtExactWidths) {
+  // LEB128 widths flip at every 7-bit boundary; check each edge from both
+  // sides plus the extremes.
+  struct Case {
+    std::uint64_t value;
+    std::size_t bytes;
+  };
+  const Case cases[] = {
+      {0, 1},
+      {1, 1},
+      {127, 1},                      // 2^7 - 1: last 1-byte value
+      {128, 2},                      // 2^7: first 2-byte value
+      {16383, 2},                    // 2^14 - 1
+      {16384, 3},                    // 2^14
+      {(1ull << 21) - 1, 3},         //
+      {1ull << 21, 4},               //
+      {(1ull << 28) - 1, 4},         //
+      {1ull << 28, 5},               //
+      {(1ull << 35), 6},             //
+      {(1ull << 42), 7},             //
+      {(1ull << 49), 8},             //
+      {(1ull << 56), 9},             //
+      {(1ull << 63) - 1, 9},         // 2^63 - 1: last 9-byte value
+      {1ull << 63, 10},              // 2^63: first 10-byte value
+      {0xffffffffffffffffull, 10},   // 2^64 - 1: max
+  };
+  for (const Case& c : cases) {
+    const util::Bytes enc = encode_varint(c.value);
+    EXPECT_EQ(enc.size(), c.bytes) << "value " << c.value;
+    util::Reader r(enc);
+    EXPECT_EQ(r.varint(), c.value);
+    EXPECT_TRUE(r.done());
+  }
+}
+
+TEST(VarintCodec, ExactWireBytesAtBoundaries) {
+  EXPECT_EQ(encode_varint(0), (util::Bytes{0x00}));
+  EXPECT_EQ(encode_varint(127), (util::Bytes{0x7f}));
+  EXPECT_EQ(encode_varint(128), (util::Bytes{0x80, 0x01}));
+  EXPECT_EQ(encode_varint(300), (util::Bytes{0xac, 0x02}));
+  EXPECT_EQ(encode_varint(16384), (util::Bytes{0x80, 0x80, 0x01}));
+}
+
+TEST(VarintCodec, OverlongEncodingStillDecodes) {
+  // {0x80, 0x00} is a non-canonical zero (the encoder never emits it, but a
+  // decoder that rejects it would be wrong per LEB128).  It must decode to
+  // 0 and consume both bytes.
+  const util::Bytes overlong{0x80, 0x00};
+  util::Reader r(overlong);
+  EXPECT_EQ(r.varint(), 0u);
+  EXPECT_TRUE(r.ok());
+  EXPECT_TRUE(r.done());
+}
+
+TEST(VarintCodec, TruncatedVarintMarksReaderBad) {
+  // Continuation bit set but the buffer ends: the reader must go bad, not
+  // read past the end or loop.
+  const util::Bytes truncated{0x80, 0x80};
+  util::Reader r(truncated);
+  EXPECT_EQ(r.varint(), 0u);
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(VarintCodec, MoreThan64BitsMarksReaderBad) {
+  // Ten continuation bytes followed by more payload would need >64 bits.
+  const util::Bytes wide{0x80, 0x80, 0x80, 0x80, 0x80, 0x80,
+                         0x80, 0x80, 0x80, 0x80, 0x01};
+  util::Reader r(wide);
+  r.varint();
+  EXPECT_FALSE(r.ok());
+}
+
+// ---- truncated / oversized strings and blobs --------------------------------
+
+TEST(StringCodec, TruncatedMidStringMarksReaderBad) {
+  util::Writer w;
+  w.str("hello world");
+  util::Bytes enc = w.take_bytes();
+  enc.resize(enc.size() - 4);  // cut the string body short
+  util::Reader r(enc);
+  EXPECT_EQ(r.str(), "");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(StringCodec, OversizedLengthPrefixMarksReaderBad) {
+  // A length prefix far beyond the remaining bytes must not allocate or
+  // read out of bounds.
+  util::Bytes enc;
+  {
+    util::Writer w;
+    w.varint(1ull << 40);  // claims a terabyte-scale string
+    enc = w.take_bytes();
+  }
+  enc.push_back('x');
+  util::Reader r(enc);
+  EXPECT_EQ(r.str(), "");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(StringCodec, BadReaderStaysBadForSubsequentReads) {
+  const util::Bytes junk{0xff};  // truncated varint
+  util::Reader r(junk);
+  r.varint();
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.u32(), 0u);
+  EXPECT_EQ(r.str(), "");
+  EXPECT_TRUE(r.blob().empty());
+  EXPECT_FALSE(r.done());
+}
+
+TEST(BlobCodec, EmptyBlobAndStringRoundTrip) {
+  util::Writer w;
+  w.str("");
+  w.blob(util::Bytes{});
+  w.u8(0x5a);
+  const util::Bytes enc = w.take_bytes();
+  util::Reader r(enc);
+  EXPECT_EQ(r.str(), "");
+  EXPECT_TRUE(r.ok());
+  EXPECT_TRUE(r.blob().empty());
+  EXPECT_EQ(r.u8(), 0x5a);
+  EXPECT_TRUE(r.done());
+}
+
+// ---- zero-copy views --------------------------------------------------------
+
+TEST(ViewCodec, StrViewMatchesCopyingAccessor) {
+  util::Writer w;
+  w.str("alpha");
+  w.str("");
+  w.str("omega");
+  const util::Bytes enc = w.take_bytes();
+
+  util::Reader copying(enc);
+  util::Reader viewing(enc);
+  for (int i = 0; i < 3; ++i) {
+    const std::string s = copying.str();
+    const std::string_view v = viewing.str_view();
+    EXPECT_EQ(s, v);
+  }
+  EXPECT_TRUE(copying.done());
+  EXPECT_TRUE(viewing.done());
+
+  // The view aliases the message buffer — no copy.
+  util::Reader alias(enc);
+  const std::string_view v = alias.str_view();
+  EXPECT_GE(reinterpret_cast<const std::uint8_t*>(v.data()), enc.data());
+  EXPECT_LT(reinterpret_cast<const std::uint8_t*>(v.data()),
+            enc.data() + enc.size());
+}
+
+TEST(ViewCodec, BlobViewMatchesCopyingAccessor) {
+  util::Writer w;
+  w.blob(util::Bytes{1, 2, 3, 4, 5});
+  const util::Bytes enc = w.take_bytes();
+
+  util::Reader copying(enc);
+  util::Reader viewing(enc);
+  const util::Bytes b = copying.blob();
+  const auto v = viewing.blob_view();
+  ASSERT_EQ(v.size(), b.size());
+  EXPECT_TRUE(std::equal(v.begin(), v.end(), b.begin()));
+  EXPECT_GE(v.data(), enc.data());
+}
+
+TEST(ViewCodec, TruncatedViewMarksReaderBadAndReturnsEmpty) {
+  util::Writer w;
+  w.str("0123456789");
+  util::Bytes enc = w.take_bytes();
+  enc.resize(5);
+  util::Reader r(enc);
+  EXPECT_TRUE(r.str_view().empty());
+  EXPECT_FALSE(r.ok());
+}
+
+// ---- fixed-width little-endian layout ---------------------------------------
+
+TEST(FixedCodec, PutLeWritesExactLittleEndianBytes) {
+  util::Writer w;
+  w.u16(0x1234);
+  w.u32(0xdeadbeef);
+  w.u64(0x0102030405060708ull);
+  const util::Bytes enc = w.take_bytes();
+  const util::Bytes expect{0x34, 0x12,                          // u16
+                           0xef, 0xbe, 0xad, 0xde,              // u32
+                           0x08, 0x07, 0x06, 0x05,              // u64 low
+                           0x04, 0x03, 0x02, 0x01};             // u64 high
+  EXPECT_EQ(enc, expect);
+  util::Reader r(enc);
+  EXPECT_EQ(r.u16(), 0x1234);
+  EXPECT_EQ(r.u32(), 0xdeadbeefu);
+  EXPECT_EQ(r.u64(), 0x0102030405060708ull);
+  EXPECT_TRUE(r.done());
+}
+
+TEST(FixedCodec, SignedAndFloatRoundTrip) {
+  util::Writer w;
+  w.i32(-1);
+  w.i64(-123456789012345ll);
+  w.f64(3.14159);
+  w.boolean(true);
+  const util::Bytes enc = w.take_bytes();
+  util::Reader r(enc);
+  EXPECT_EQ(r.i32(), -1);
+  EXPECT_EQ(r.i64(), -123456789012345ll);
+  EXPECT_DOUBLE_EQ(r.f64(), 3.14159);
+  EXPECT_TRUE(r.boolean());
+  EXPECT_TRUE(r.done());
+}
+
+// ---- writer / pool integration ----------------------------------------------
+
+TEST(WriterPool, TakeHandsOffThePooledBuffer) {
+  util::Writer w;
+  w.u32(7);
+  sim::Payload p = w.take();
+  EXPECT_TRUE(p.attached());
+  EXPECT_EQ(p.size(), 4u);
+  EXPECT_EQ(w.size(), 0u);  // writer is empty and reusable
+  w.u8(1);
+  EXPECT_EQ(w.size(), 1u);
+}
+
+TEST(WriterPool, ReaderOverPayloadSeesWriterBytes) {
+  util::Writer w;
+  w.varint(300);
+  w.str("view");
+  const sim::Payload p = w.take();
+  util::Reader r(p);
+  EXPECT_EQ(r.varint(), 300u);
+  EXPECT_EQ(r.str_view(), "view");
+  EXPECT_TRUE(r.done());
+}
+
+TEST(WriterPool, ReserveDoesNotChangeWireBytes) {
+  util::Writer plain;
+  plain.u32(1);
+  plain.str("abc");
+  util::Writer reserved;
+  reserved.reserve(4096);
+  reserved.u32(1);
+  reserved.str("abc");
+  EXPECT_EQ(plain.bytes(), reserved.bytes());
+}
+
+}  // namespace
+}  // namespace grid

@@ -178,7 +178,7 @@ TEST(GridMpi, PointToPointAcrossSubjobs) {
     });
     util::Writer w;
     w.str("hello across subjobs");
-    f.world.by_rank[3]->send(0, 7, w.take());
+    f.world.by_rank[3]->send(0, 7, w.take_bytes());
   };
   f.g->grid->run();
   EXPECT_EQ(got_src, 3);
@@ -191,7 +191,7 @@ TEST(GridMpi, EarlyMessagesDeliveredOnRecvRegistration) {
   f.world.on_world_ready = [&] {
     util::Writer w;
     w.str("early");
-    f.world.by_rank[1]->send(0, 3, w.take());
+    f.world.by_rank[1]->send(0, 3, w.take_bytes());
     // Register the handler after the message is already in flight.
     f.g->grid->engine().schedule_after(sim::kSecond, [&] {
       f.world.by_rank[0]->recv(3, [&](std::int32_t, util::Reader& r) {
@@ -225,7 +225,7 @@ TEST(GridMpi, BcastDeliversRootPayload) {
         util::Writer w;
         w.str("broadcast payload");
         // bcast with root=1: root passes the payload, others pass empty.
-        payload = w.take();
+        payload = w.take_bytes();
       }
       comm->bcast(1, payload, [&, rank = rank](util::Bytes data) {
         util::Reader r(data);
@@ -281,7 +281,7 @@ TEST(GridMpi, GatherCollectsInRankOrder) {
     for (auto& [rank, comm] : f.world.by_rank) {
       util::Writer w;
       w.str("from-rank-" + std::to_string(rank));
-      comm->gather(/*root=*/2, w.take(),
+      comm->gather(/*root=*/2, w.take_bytes(),
                    [&, rank = rank](std::vector<util::Bytes> pieces) {
                      if (rank == 2) gathered = std::move(pieces);
                    });

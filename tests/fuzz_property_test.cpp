@@ -257,7 +257,7 @@ TEST_P(GridMpiFuzz, RandomPointToPointTrafficAllDelivered) {
       ++messages;
       util::Writer w;
       w.i64(value);
-      world.by_rank[src]->send(dst, 5, w.take());
+      world.by_rank[src]->send(dst, 5, w.take_bytes());
     }
   };
   g.grid->run();

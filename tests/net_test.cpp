@@ -1,7 +1,10 @@
 // Unit tests for the network simulation and the RPC layer.
 #include <gtest/gtest.h>
 
+#include <array>
+#include <functional>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "app/failure.hpp"
@@ -11,15 +14,23 @@
 namespace grid {
 namespace {
 
-/// A node that records everything delivered to it.
+/// A node that records everything delivered to it.  Message itself is
+/// move-only (it holds the pooled payload buffer), so the recorder copies
+/// the fields it wants to inspect.
 class Recorder : public net::Node {
  public:
+  struct Received {
+    net::NodeId src = net::kInvalidNode;
+    std::uint32_t kind = 0;
+    util::Bytes payload;
+  };
+
   void handle_message(const net::Message& msg) override {
-    messages.push_back(msg);
+    messages.push_back({msg.src, msg.kind, msg.payload.bytes()});
   }
   void on_crash() override { ++crashes; }
 
-  std::vector<net::Message> messages;
+  std::vector<Received> messages;
   int crashes = 0;
 };
 
@@ -34,7 +45,7 @@ struct NetFixture : ::testing::Test {
 TEST_F(NetFixture, DeliversWithLatency) {
   network.set_latency_model(
       std::make_unique<net::FixedLatency>(5 * sim::kMillisecond));
-  network.send(na, nb, 7, {1, 2, 3});
+  network.send(na, nb, 7, util::Bytes{1, 2, 3});
   engine.run();
   ASSERT_EQ(b.messages.size(), 1u);
   EXPECT_EQ(engine.now(), 5 * sim::kMillisecond);
@@ -114,11 +125,121 @@ TEST_F(NetFixture, RandomLossDropsApproximatelyP) {
 }
 
 TEST_F(NetFixture, StatsCountBytes) {
-  network.send(na, nb, 1, {0, 0, 0, 0});
+  network.send(na, nb, 1, util::Bytes{0, 0, 0, 0});
   engine.run();
   EXPECT_EQ(network.stats().sent, 1u);
   EXPECT_EQ(network.stats().delivered, 1u);
   EXPECT_EQ(network.stats().bytes_sent, 4u);
+  EXPECT_EQ(network.stats().bytes_delivered, 4u);
+}
+
+TEST_F(NetFixture, PayloadCountersTrackPoolReuse) {
+  // Send-deliver cycles return each payload buffer to the pool before the
+  // next send, so at most one message in the sequence can need a fresh
+  // heap buffer (none, if the thread's pool is already warm).
+  for (std::uint64_t i = 0; i < 8; ++i) {
+    util::Writer w;
+    w.u64(i);
+    network.send(na, nb, 1, w.take());
+    engine.run();
+  }
+  const net::NetworkStats& s = network.stats();
+  EXPECT_EQ(s.payloads_fresh + s.payloads_recycled, 8u);
+  EXPECT_LE(s.payloads_fresh, 1u);
+  EXPECT_EQ(s.bytes_sent, 64u);
+  EXPECT_EQ(s.bytes_delivered, 64u);
+  EXPECT_EQ(b.messages.size(), 8u);
+}
+
+// ---- determinism contract (documented on Network::send) --------------------
+
+TEST(NetworkDeterminism, DroppedSendDoesNotAdvanceLatencyRng) {
+  constexpr sim::Time kBase = 10 * sim::kMillisecond;
+  constexpr sim::Time kJitter = 5 * sim::kMillisecond;
+  // Reference: the first delivery time on a fresh jitter stream.
+  sim::Engine e1;
+  net::Network n1{e1};
+  Recorder r1a, r1b;
+  const net::NodeId a1 = n1.attach(&r1a, "a");
+  const net::NodeId b1 = n1.attach(&r1b, "b");
+  n1.set_latency_model(
+      std::make_unique<net::JitterLatency>(kBase, kJitter, sim::Rng(42)));
+  n1.send(a1, b1, 1, {});
+  e1.run();
+  const sim::Time t_ref = e1.now();
+
+  // Same latency stream, but a send that is dropped by injected loss
+  // happens first.  Contract: the dropped send never consults the latency
+  // model, so the surviving message's delivery time is unchanged.
+  sim::Engine e2;
+  net::Network n2{e2};
+  Recorder r2a, r2b;
+  const net::NodeId a2 = n2.attach(&r2a, "a");
+  const net::NodeId b2 = n2.attach(&r2b, "b");
+  n2.set_latency_model(
+      std::make_unique<net::JitterLatency>(kBase, kJitter, sim::Rng(42)));
+  n2.set_drop_probability(1.0);
+  n2.send(a2, b2, 1, {});  // consumed by random loss at send time
+  n2.set_drop_probability(0.0);
+  n2.send(a2, b2, 2, {});
+  e2.run();
+  EXPECT_EQ(n2.stats().dropped_random, 1u);
+  ASSERT_EQ(r2b.messages.size(), 1u);
+  EXPECT_EQ(e2.now(), t_ref);
+
+  // A crashed-source send is also dropped before the latency consult.
+  sim::Engine e3;
+  net::Network n3{e3};
+  Recorder r3a, r3b;
+  const net::NodeId a3 = n3.attach(&r3a, "a");
+  const net::NodeId b3 = n3.attach(&r3b, "b");
+  n3.set_latency_model(
+      std::make_unique<net::JitterLatency>(kBase, kJitter, sim::Rng(42)));
+  n3.set_node_up(a3, false);
+  n3.send(a3, b3, 1, {});
+  n3.set_node_up(a3, true);
+  n3.send(a3, b3, 2, {});
+  e3.run();
+  ASSERT_EQ(r3b.messages.size(), 1u);
+  EXPECT_EQ(e3.now(), t_ref);
+}
+
+TEST(NetworkDeterminism, PartitionDropConsumesLatencyDraw) {
+  // The flip side of the contract: a message dropped at DELIVERY time (the
+  // partition swallows it in flight) has already taken its latency draw,
+  // so the next message rides the SECOND draw of the stream.
+  constexpr sim::Time kBase = 10 * sim::kMillisecond;
+  constexpr sim::Time kJitter = 5 * sim::kMillisecond;
+  sim::Rng ref(42);
+  const sim::Time draw1 = kBase + ref.uniform_time(0, kJitter);
+  const sim::Time draw2 = kBase + ref.uniform_time(0, kJitter);
+  ASSERT_NE(draw1, draw2);  // seed chosen so the draws differ
+
+  struct TimeStamper : net::Node {
+    sim::Engine* eng = nullptr;
+    std::vector<sim::Time> at;
+    void handle_message(const net::Message&) override {
+      at.push_back(eng->now());
+    }
+  };
+  sim::Engine e;
+  net::Network n{e};
+  TimeStamper src, dst;
+  src.eng = &e;
+  dst.eng = &e;
+  const net::NodeId a = n.attach(&src, "a");
+  const net::NodeId b = n.attach(&dst, "b");
+  n.set_latency_model(
+      std::make_unique<net::JitterLatency>(kBase, kJitter, sim::Rng(42)));
+  n.set_partitioned(a, b, true);
+  n.send(a, b, 1, {});  // consumes draw1...
+  e.run();              // ...and is swallowed in flight by the partition
+  EXPECT_EQ(n.stats().dropped_partition, 1u);
+  n.set_partitioned(a, b, false);
+  const sim::Time t_send2 = e.now();
+  n.send(a, b, 2, {});  // rides draw2, not a replay of draw1
+  e.run();
+  EXPECT_EQ(dst.at, (std::vector<sim::Time>{t_send2 + draw2}));
 }
 
 TEST_F(NetFixture, NamesAreRetrievable) {
@@ -382,9 +503,10 @@ TEST_F(RpcFixture, ConcurrentCallsMatchResponses) {
         // Respond out of order: delay even values.
         const sim::Time delay =
             (v % 2 == 0) ? 100 * sim::kMillisecond : sim::kMillisecond;
-        engine.schedule_after(delay, [&, caller, id, bytes = w.take()] {
-          server.respond(caller, id, bytes);
-        });
+        engine.schedule_after(delay,
+                              [&, caller, id, bytes = w.take()]() mutable {
+                                server.respond(caller, id, std::move(bytes));
+                              });
       });
   std::vector<std::uint32_t> got;
   for (std::uint32_t i = 0; i < 6; ++i) {
@@ -400,6 +522,87 @@ TEST_F(RpcFixture, ConcurrentCallsMatchResponses) {
   ASSERT_EQ(got.size(), 6u);
   // Odd values return first, but each response matched its own call.
   EXPECT_EQ(got, (std::vector<std::uint32_t>{1, 3, 5, 0, 2, 4}));
+}
+
+TEST_F(RpcFixture, NotifyFrameFanOutSharesOneBuffer) {
+  // One encode, N destinations: every send shares the same pooled buffer.
+  net::Endpoint r1{network, "r1"}, r2{network, "r2"}, r3{network, "r3"};
+  int hits = 0;
+  for (net::Endpoint* e : {&r1, &r2, &r3}) {
+    e->register_notify(4, [&](net::NodeId, util::Reader& p) {
+      EXPECT_EQ(p.str(), "broadcast");
+      ++hits;
+    });
+  }
+  util::Writer w;
+  w.str("broadcast");
+  const sim::Payload frame = net::Endpoint::encode_notify(4, w.take());
+  EXPECT_EQ(frame.ref_count(), 1u);
+  for (net::Endpoint* e : {&r1, &r2, &r3}) {
+    client.notify_frame(e->id(), frame.share());
+  }
+  // Our handle plus one per in-flight message.
+  EXPECT_EQ(frame.ref_count(), 4u);
+  engine.run();
+  EXPECT_EQ(hits, 3);
+  EXPECT_EQ(frame.ref_count(), 1u);  // deliveries released their shares
+}
+
+TEST_F(RpcFixture, CallTableSurvivesChurnAndReusesSlots) {
+  // Sequentially chained calls churn the slab's single slot; interleaved
+  // batches grow it.  Either way every response matches its own call and
+  // the table drains to empty.
+  server.register_method(
+      7, [&](net::NodeId caller, std::uint64_t id, util::Reader& args) {
+        const auto v = args.u64();
+        util::Writer w;
+        w.u64(v + 1);
+        server.respond(caller, id, w.take());
+      });
+  std::uint64_t received = 0;
+  std::function<void(std::uint64_t)> chain = [&](std::uint64_t v) {
+    if (v >= 200) return;
+    util::Writer w;
+    w.u64(v);
+    client.call(server.id(), 7, w.take(), sim::kSecond,
+                [&](const util::Status& status, util::Reader& reply) {
+                  ASSERT_TRUE(status.is_ok());
+                  received = reply.u64();
+                  chain(received);
+                });
+  };
+  chain(0);
+  // An interleaved burst on top of the chain.
+  for (std::uint64_t i = 1000; i < 1032; ++i) {
+    util::Writer w;
+    w.u64(i);
+    client.call(server.id(), 7, w.take(), sim::kSecond,
+                [](const util::Status& status, util::Reader&) {
+                  ASSERT_TRUE(status.is_ok());
+                });
+  }
+  engine.run();
+  EXPECT_EQ(received, 200u);
+  EXPECT_EQ(client.pending_calls(), 0u);
+}
+
+TEST_F(RpcFixture, LargeResponseCaptureStillFires) {
+  // Captures beyond ResponseFn's inline capacity must box, not break.
+  server.register_method(
+      1, [&](net::NodeId caller, std::uint64_t id, util::Reader&) {
+        server.respond(caller, id, {});
+      });
+  std::array<std::uint64_t, 16> big{};
+  big.fill(7);
+  bool fired = false;
+  client.call(server.id(), 1, {}, 0,
+              [&fired, big](const util::Status& status, util::Reader&) {
+                EXPECT_TRUE(status.is_ok());
+                EXPECT_EQ(big[15], 7u);
+                fired = true;
+              });
+  engine.run();
+  EXPECT_TRUE(fired);
 }
 
 }  // namespace
