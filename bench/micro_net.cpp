@@ -17,13 +17,13 @@
 //   codec_churn — encode+decode of a CheckinMessage-shaped record with no
 //     network in between (new path decodes through str_view()).
 //
-// A counting `operator new` hook asserts the headline claim: after warmup,
-// the new path's request/response round-trip allocates NOTHING.
+// A scoped sim::AllocGuard (the counting `operator new` hook in
+// simkit/allocguard.hpp) asserts the headline claim: after warmup, the new
+// path's request/response round-trip allocates NOTHING.
 //
 // Writes measurements to BENCH_net.json (override with argv[1]; --quick
 // shrinks the workload for ctest); scripts/run_benches.sh diffs the JSON
 // against the committed baseline.
-#include <atomic>
 #include <chrono>
 #include <cmath>
 #include <cstdint>
@@ -32,77 +32,19 @@
 #include <cstring>
 #include <functional>
 #include <memory>
-#include <new>
 #include <string>
 #include <string_view>
 #include <unordered_map>
 #include <vector>
 
 #include "net/rpc.hpp"
+#include "simkit/allocguard.hpp"
 #include "simkit/codec.hpp"
 #include "simkit/engine.hpp"
 #include "simkit/status.hpp"
 #include "testbed/report.hpp"
 
 using namespace grid;
-
-// ---- counting allocation hook ----------------------------------------------
-//
-// Global so it sees every heap allocation in the process, including ones
-// buried in libstdc++.  Counting is gated on a flag so startup noise and
-// warmup don't pollute the steady-state window.
-
-namespace {
-std::atomic<bool> g_count_allocs{false};
-std::atomic<std::uint64_t> g_alloc_count{0};
-
-inline void note_alloc() {
-  if (g_count_allocs.load(std::memory_order_relaxed)) {
-    g_alloc_count.fetch_add(1, std::memory_order_relaxed);
-  }
-}
-}  // namespace
-
-void* operator new(std::size_t n) {
-  note_alloc();
-  void* p = std::malloc(n > 0 ? n : 1);
-  if (p == nullptr) throw std::bad_alloc();
-  return p;
-}
-void* operator new[](std::size_t n) { return ::operator new(n); }
-void* operator new(std::size_t n, const std::nothrow_t&) noexcept {
-  note_alloc();
-  return std::malloc(n > 0 ? n : 1);
-}
-void* operator new[](std::size_t n, const std::nothrow_t&) noexcept {
-  return ::operator new(n, std::nothrow);
-}
-void* operator new(std::size_t n, std::align_val_t al) {
-  note_alloc();
-  const std::size_t a = static_cast<std::size_t>(al);
-  void* p = std::aligned_alloc(a, (n + a - 1) / a * a);
-  if (p == nullptr) throw std::bad_alloc();
-  return p;
-}
-void* operator new[](std::size_t n, std::align_val_t al) {
-  return ::operator new(n, al);
-}
-void operator delete(void* p) noexcept { std::free(p); }
-void operator delete[](void* p) noexcept { std::free(p); }
-void operator delete(void* p, std::size_t) noexcept { std::free(p); }
-void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
-void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
-void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
-void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
-  std::free(p);
-}
-void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
-  std::free(p);
-}
-void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
-void operator delete[](void* p, const std::nothrow_t&) noexcept {
-  std::free(p);
-}
 
 // ---- the seed message path, embedded verbatim -------------------------------
 
@@ -474,20 +416,18 @@ struct Measured {
 };
 
 /// Runs `body(ops)` twice: a warmup pass (pools and tables grow to steady
-/// state) and a measured pass under the counting allocator.
+/// state) and a measured pass inside a sim::AllocGuard counting region.
 template <typename Body>
 Measured run_measured(std::uint64_t warmup_ops, std::uint64_t ops,
                       Body&& body) {
   body(warmup_ops);
-  g_alloc_count.store(0, std::memory_order_relaxed);
-  g_count_allocs.store(true, std::memory_order_relaxed);
+  sim::AllocGuard guard;
   const auto t0 = std::chrono::steady_clock::now();
   body(ops);
   const double dt = seconds_since(t0);
-  g_count_allocs.store(false, std::memory_order_relaxed);
   Measured m;
   m.ops_per_s = static_cast<double>(ops) / dt;
-  m.allocs = g_alloc_count.load(std::memory_order_relaxed);
+  m.allocs = guard.allocations();
   m.ops = ops;
   return m;
 }
@@ -767,12 +707,20 @@ int main(int argc, char** argv) {
 
   const std::uint64_t new_allocs =
       new_rt.allocs + new_fan.allocs + new_churn.allocs;
-  const bool ok = new_allocs == 0 && s_geomean >= 2.0;
+#if defined(GRID_SANITIZED)
+  // Sanitizer instrumentation skews the seed-vs-new timing ratio, so only
+  // the allocation half of the shape is asserted in those builds.
+  const bool check_speedup = false;
+#else
+  const bool check_speedup = true;
+#endif
+  const bool ok = new_allocs == 0 && (!check_speedup || s_geomean >= 2.0);
   std::printf(
       "\nshape check: zero steady-state allocations on the new path "
       "(%llu seen)\nand >=2x geomean speedup over the seed path "
-      "(%.2fx): %s\n",
+      "(%.2fx%s): %s\n",
       static_cast<unsigned long long>(new_allocs), s_geomean,
+      check_speedup ? "" : ", not asserted under sanitizers",
       ok ? "HOLDS" : "VIOLATED");
   return ok ? 0 : 1;
 }

@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# The full correctness gauntlet, locally: gridlint (tree scan + fixture
+# selftest), then build + ctest under every correctness preset — default,
+# asan (ASan+UBSan), ubsan, tsan, and checked (GRID_CHECKED invariant
+# tripwires).  clang-tidy runs if the binary is installed, and is skipped
+# with a note otherwise.
+#
+# Usage: scripts/run_checks.sh [preset...]   (default: all presets)
+# Exit code: non-zero on the first failing stage.
+set -u
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$repo_root"
+
+presets=("$@")
+if [ ${#presets[@]} -eq 0 ]; then
+  presets=(default asan ubsan tsan checked)
+fi
+
+echo "== gridlint =="
+python3 tools/gridlint/gridlint.py --root . || exit 1
+python3 tools/gridlint/gridlint.py --root . --selftest || exit 1
+
+for preset in "${presets[@]}"; do
+  echo "== ${preset}: configure + build + ctest =="
+  cmake --preset "$preset" >/dev/null || exit 1
+  cmake --build --preset "$preset" -j "$(nproc)" >/dev/null || exit 1
+  ctest --preset "$preset" -j "$(nproc)" --output-on-failure || exit 1
+done
+
+if command -v clang-tidy >/dev/null 2>&1; then
+  echo "== clang-tidy =="
+  cmake --build build --target tidy || exit 1
+else
+  echo "== clang-tidy: not installed, skipped =="
+fi
+
+echo "all checks passed"

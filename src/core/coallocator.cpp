@@ -36,8 +36,8 @@ CoallocationRequest* Coallocator::create_request(RequestCallbacks callbacks,
 }
 
 CoallocationRequest* Coallocator::find_request(RequestId id) {
-  auto it = requests_.find(id);
-  return it == requests_.end() ? nullptr : it->second.get();
+  auto* r = requests_.find(id);
+  return r == nullptr ? nullptr : r->get();
 }
 
 void Coallocator::destroy_request(RequestId id) { requests_.erase(id); }

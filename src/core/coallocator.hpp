@@ -9,12 +9,12 @@
 
 #include <memory>
 #include <string>
-#include <unordered_map>
 
 #include "core/request.hpp"
 #include "gsi/credential.hpp"
 #include "gsi/protocol.hpp"
 #include "net/rpc.hpp"
+#include "simkit/idmap.hpp"
 
 namespace grid::core {
 
@@ -55,8 +55,7 @@ class Coallocator {
   ContactResolver resolver_;
   RequestConfig defaults_;
   RequestId next_request_ = 1;
-  std::unordered_map<RequestId, std::unique_ptr<CoallocationRequest>>
-      requests_;
+  sim::IdSlab<std::unique_ptr<CoallocationRequest>> requests_;
 };
 
 }  // namespace grid::core

@@ -54,8 +54,8 @@ util::Result<RequestId> GrabAllocator::allocate(
 }
 
 void GrabAllocator::cancel(RequestId id) {
-  if (auto it = detectors_.find(id); it != detectors_.end()) {
-    it->second->stop();
+  if (auto* d = detectors_.find(id)) {
+    (*d)->stop();
   }
   if (CoallocationRequest* request = mech_->find_request(id)) {
     request->kill();

@@ -15,11 +15,11 @@
 #include <memory>
 #include <optional>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "core/coallocator.hpp"
 #include "core/monitor.hpp"
+#include "simkit/idmap.hpp"
 
 namespace grid::core {
 
@@ -61,8 +61,8 @@ class GrabAllocator {
 
   /// The detector watching `id`; nullptr when heartbeats were not armed.
   const HeartbeatDetector* detector(RequestId id) const {
-    auto it = detectors_.find(id);
-    return it == detectors_.end() ? nullptr : it->second.get();
+    const auto* d = detectors_.find(id);
+    return d == nullptr ? nullptr : d->get();
   }
 
   Coallocator& mechanisms() { return *mech_; }
@@ -70,8 +70,7 @@ class GrabAllocator {
  private:
   Coallocator* mech_;
   std::optional<HeartbeatConfig> heartbeats_;
-  std::unordered_map<RequestId, std::unique_ptr<HeartbeatDetector>>
-      detectors_;
+  sim::IdSlab<std::unique_ptr<HeartbeatDetector>> detectors_;
 };
 
 }  // namespace grid::core

@@ -129,8 +129,8 @@ void HeartbeatDetector::stop() {
 }
 
 SubjobHealth HeartbeatDetector::health(SubjobHandle handle) const {
-  auto it = watches_.find(handle);
-  return it == watches_.end() ? SubjobHealth::kHealthy : it->second.health;
+  const Watch* w = watches_.find(handle);
+  return w == nullptr ? SubjobHealth::kHealthy : w->health;
 }
 
 void HeartbeatDetector::tick() {
@@ -173,9 +173,9 @@ void HeartbeatDetector::beat(SubjobHandle handle, net::NodeId gatekeeper,
       [this, alive = alive_, handle, job](const util::Status& status,
                                           util::Reader&) {
         if (!*alive) return;
-        auto it = watches_.find(handle);
-        if (it == watches_.end() || it->second.job != job) return;  // stale
-        Watch& w = it->second;
+        Watch* wp = watches_.find(handle);
+        if (wp == nullptr || wp->job != job) return;  // stale
+        Watch& w = *wp;
         w.in_flight = false;
         if (w.health == SubjobHealth::kDead) return;
         if (status.is_ok()) {

@@ -13,10 +13,10 @@
 #include <functional>
 #include <memory>
 #include <string>
-#include <unordered_map>
 
 #include "core/coallocator.hpp"
 #include "core/request.hpp"
+#include "simkit/idmap.hpp"
 
 namespace grid::core {
 
@@ -174,7 +174,7 @@ class HeartbeatDetector {
   RequestId request_;
   HeartbeatConfig config_;
   HealthFn on_health_;
-  std::unordered_map<SubjobHandle, Watch> watches_;
+  sim::IdSlab<Watch> watches_;
   sim::EventId tick_event_;
   bool running_ = false;
   /// Beat replies and timer lambdas check this before touching `this`, so

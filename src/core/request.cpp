@@ -37,24 +37,22 @@ CoallocationRequest::CoallocationRequest(Coallocator& owner, RequestId id,
 
 CoallocationRequest::~CoallocationRequest() {
   *alive_ = false;
-  for (auto& [handle, sj] : slots_) {
+  slots_.for_each([this](SubjobHandle, Subjob& sj) {
     owner_->engine().cancel(sj.timeout_event);
     owner_->engine().cancel(sj.probe_event);
     // Unregister the state watcher so late notifies from the job manager
     // don't fire into a destroyed request.
     if (sj.gram_job != 0) owner_->gram().forget(sj.gram_job);
-  }
+  });
 }
 
 CoallocationRequest::Subjob* CoallocationRequest::find(SubjobHandle handle) {
-  auto it = slots_.find(handle);
-  return it == slots_.end() ? nullptr : &it->second;
+  return slots_.find(handle);
 }
 
 const CoallocationRequest::Subjob* CoallocationRequest::find(
     SubjobHandle handle) const {
-  auto it = slots_.find(handle);
-  return it == slots_.end() ? nullptr : &it->second;
+  return slots_.find(handle);
 }
 
 // ---- editing ---------------------------------------------------------------

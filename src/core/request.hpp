@@ -33,7 +33,6 @@
 #include <memory>
 #include <string>
 #include <string_view>
-#include <unordered_map>
 #include <vector>
 
 #include "core/barrier_protocol.hpp"
@@ -41,6 +40,7 @@
 #include "core/types.hpp"
 #include "gram/client.hpp"
 #include "rsl/attributes.hpp"
+#include "simkit/idmap.hpp"
 #include "simkit/log.hpp"
 
 namespace grid::core {
@@ -250,7 +250,7 @@ class CoallocationRequest {
   SubjobHandle hold_handle_ = 0;  // serialize_until_checkin gate
   std::deque<SubjobHandle> submit_queue_;
   std::vector<SubjobHandle> order_;  // insertion order of slots
-  std::unordered_map<SubjobHandle, Subjob> slots_;
+  sim::IdSlab<Subjob> slots_;
   SubjobHandle next_handle_ = 1;
   RuntimeConfig config_table_;
   sim::Time released_at_ = -1;

@@ -188,10 +188,10 @@ void AlternativesAgent::on_subjob(SubjobHandle handle, SubjobState state,
   if (user_.on_subjob) user_.on_subjob(handle, state, why);
   if (state == SubjobState::kFailed &&
       request_->state() == RequestState::kEditing) {
-    auto it = remaining_.find(handle);
-    if (it != remaining_.end() && !it->second.empty()) {
-      rsl::JobRequest next = std::move(it->second.front());
-      it->second.erase(it->second.begin());
+    std::vector<rsl::JobRequest>* options = remaining_.find(handle);
+    if (options != nullptr && !options->empty()) {
+      rsl::JobRequest next = std::move(options->front());
+      options->erase(options->begin());
       ++fallbacks_;
       request_->substitute_subjob(handle, std::move(next));
       return;

@@ -25,6 +25,7 @@
 
 #include "core/coallocator.hpp"
 #include "rsl/alternatives.hpp"
+#include "simkit/idmap.hpp"
 
 namespace grid::core {
 
@@ -119,7 +120,7 @@ class AlternativesAgent {
   Coallocator* mech_;
   RequestCallbacks user_;
   CoallocationRequest* request_ = nullptr;
-  std::unordered_map<SubjobHandle, std::vector<rsl::JobRequest>> remaining_;
+  sim::IdSlab<std::vector<rsl::JobRequest>> remaining_;
   std::size_t fallbacks_ = 0;
   bool committed_ = false;
 };

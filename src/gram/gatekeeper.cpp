@@ -130,13 +130,13 @@ void Gatekeeper::handle_job_cancel(net::NodeId caller, std::uint64_t call_id,
                             "malformed cancel");
     return;
   }
-  auto it = jobs_.find(id);
-  if (it == jobs_.end()) {
+  auto* manager = jobs_.find(id);
+  if (manager == nullptr) {
     endpoint_.respond_error(caller, call_id, util::ErrorCode::kNotFound,
                             "unknown job");
     return;
   }
-  it->second->cancel();
+  (*manager)->cancel();
   endpoint_.respond(caller, call_id, {});
 }
 
@@ -217,17 +217,16 @@ void Gatekeeper::handle_reserve_cancel(net::NodeId caller,
 }
 
 util::Result<JobState> Gatekeeper::job_state(JobId id) const {
-  auto it = jobs_.find(id);
-  if (it == jobs_.end()) {
+  const auto* manager = jobs_.find(id);
+  if (manager == nullptr) {
     return util::Status(util::ErrorCode::kNotFound, "unknown job");
   }
-  return it->second->state();
+  return (*manager)->state();
 }
 
 void Gatekeeper::crash() {
-  for (auto& [id, manager] : jobs_) {
-    manager->crash();
-  }
+  jobs_.for_each(
+      [](JobId, std::unique_ptr<JobManager>& manager) { manager->crash(); });
 }
 
 }  // namespace grid::gram

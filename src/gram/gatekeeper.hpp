@@ -14,7 +14,6 @@
 
 #include <memory>
 #include <string>
-#include <unordered_map>
 
 #include "gram/jobmanager.hpp"
 #include "gram/nis.hpp"
@@ -23,6 +22,7 @@
 #include "gsi/protocol.hpp"
 #include "net/rpc.hpp"
 #include "sched/scheduler.hpp"
+#include "simkit/idmap.hpp"
 #include "simkit/log.hpp"
 
 namespace grid::gram {
@@ -87,7 +87,7 @@ class Gatekeeper {
   GatekeeperCosts costs_;
   util::Logger log_;
   std::uint64_t next_job_ = 1;
-  std::unordered_map<JobId, std::unique_ptr<JobManager>> jobs_;
+  sim::IdSlab<std::unique_ptr<JobManager>> jobs_;
 };
 
 }  // namespace grid::gram

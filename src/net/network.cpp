@@ -5,12 +5,19 @@
 namespace grid::net {
 
 void MatrixLatency::set_pair(NodeId a, NodeId b, sim::Time one_way) {
-  pairs_[key(a, b)] = one_way;
+  const std::uint64_t k = key(a, b);
+  const std::uint32_t idx = pair_index_.find(k);
+  if (idx != sim::IdMap::kNotFound) {
+    values_[idx] = one_way;
+    return;
+  }
+  pair_index_.insert(k, static_cast<std::uint32_t>(values_.size()));
+  values_.push_back(one_way);
 }
 
 sim::Time MatrixLatency::latency(NodeId src, NodeId dst, std::size_t) {
-  auto it = pairs_.find(key(src, dst));
-  return it == pairs_.end() ? default_ : it->second;
+  const std::uint32_t idx = pair_index_.find(key(src, dst));
+  return idx == sim::IdMap::kNotFound ? default_ : values_[idx];
 }
 
 std::uint64_t MatrixLatency::key(NodeId a, NodeId b) {
@@ -30,13 +37,35 @@ Network::Network(sim::Engine& engine)
       latency_(std::make_unique<FixedLatency>(2 * sim::kMillisecond)),
       drop_rng_(0xda7a5eedULL) {}
 
+Network::Slot* Network::slot(NodeId id) {
+  if (id >= nodes_.size() || !nodes_[id].attached) return nullptr;
+  return &nodes_[id];
+}
+
+const Network::Slot* Network::slot(NodeId id) const {
+  if (id >= nodes_.size() || !nodes_[id].attached) return nullptr;
+  return &nodes_[id];
+}
+
 NodeId Network::attach(Node* node, std::string name) {
   const NodeId id = next_id_++;
-  nodes_[id] = Slot{node, std::move(name), true};
+  nodes_.resize(id + 1);
+  Slot& s = nodes_[id];
+  s.node = node;
+  s.name = std::move(name);
+  s.up = true;
+  s.attached = true;
+  ++attached_;
   return id;
 }
 
-void Network::detach(NodeId id) { nodes_.erase(id); }
+void Network::detach(NodeId id) {
+  Slot* s = slot(id);
+  if (s == nullptr) return;
+  s->node = nullptr;
+  s->attached = false;
+  --attached_;
+}
 
 void Network::set_latency_model(std::unique_ptr<LatencyModel> model) {
   if (model) latency_ = std::move(model);
@@ -44,8 +73,8 @@ void Network::set_latency_model(std::unique_ptr<LatencyModel> model) {
 
 util::Status Network::send(NodeId src, NodeId dst, std::uint32_t kind,
                            sim::Payload payload) {
-  auto sit = nodes_.find(src);
-  if (sit == nodes_.end()) {
+  const Slot* s = slot(src);
+  if (s == nullptr) {
     return {util::ErrorCode::kInvalidArgument, "send from unknown node"};
   }
   ++stats_.sent;
@@ -59,7 +88,7 @@ util::Status Network::send(NodeId src, NodeId dst, std::uint32_t kind,
   }
   // Step order below is the determinism contract documented on send() in
   // network.hpp: drop checks BEFORE the latency-model consult.
-  if (!sit->second.up) {
+  if (!s->up) {
     // A crashed host cannot transmit.
     ++stats_.dropped_down;
     return util::Status::ok();
@@ -85,41 +114,41 @@ void Network::deliver(Message msg, std::uint64_t src_epoch,
     ++stats_.dropped_partition;
     return;
   }
-  auto it = nodes_.find(msg.dst);
-  if (it == nodes_.end() || !it->second.up || it->second.node == nullptr) {
+  const Slot* d = slot(msg.dst);
+  if (d == nullptr || !d->up || d->node == nullptr) {
     ++stats_.dropped_down;
     return;
   }
   // A crash of either endpoint while the message was in flight loses it,
   // even if the node was restored before the nominal delivery time.
-  if (it->second.epoch != dst_epoch || epoch_of(msg.src) != src_epoch) {
+  if (d->epoch != dst_epoch || epoch_of(msg.src) != src_epoch) {
     ++stats_.dropped_down;
     return;
   }
   ++stats_.delivered;
   stats_.bytes_delivered += msg.payload.size();
-  it->second.node->handle_message(msg);
+  d->node->handle_message(msg);
 }
 
 std::uint64_t Network::epoch_of(NodeId id) const {
-  auto it = nodes_.find(id);
-  return it == nodes_.end() ? 0 : it->second.epoch;
+  const Slot* s = slot(id);
+  return s == nullptr ? 0 : s->epoch;
 }
 
 void Network::set_node_up(NodeId id, bool up) {
-  auto it = nodes_.find(id);
-  if (it == nodes_.end()) return;
-  const bool was_up = it->second.up;
-  it->second.up = up;
+  Slot* s = slot(id);
+  if (s == nullptr) return;
+  const bool was_up = s->up;
+  s->up = up;
   if (was_up && !up) {
-    ++it->second.epoch;
-    if (it->second.node != nullptr) it->second.node->on_crash();
+    ++s->epoch;
+    if (s->node != nullptr) s->node->on_crash();
   }
 }
 
 bool Network::is_up(NodeId id) const {
-  auto it = nodes_.find(id);
-  return it != nodes_.end() && it->second.up;
+  const Slot* s = slot(id);
+  return s != nullptr && s->up;
 }
 
 void Network::set_partitioned(NodeId a, NodeId b, bool blocked) {
@@ -127,7 +156,7 @@ void Network::set_partitioned(NodeId a, NodeId b, bool blocked) {
       a < b ? (static_cast<std::uint64_t>(a) << 32) | b
             : (static_cast<std::uint64_t>(b) << 32) | a;
   if (blocked) {
-    partitions_.insert(k);
+    if (partitions_.find(k) == sim::IdMap::kNotFound) partitions_.insert(k, 1);
   } else {
     partitions_.erase(k);
   }
@@ -137,26 +166,27 @@ bool Network::is_partitioned(NodeId a, NodeId b) const {
   const std::uint64_t k =
       a < b ? (static_cast<std::uint64_t>(a) << 32) | b
             : (static_cast<std::uint64_t>(b) << 32) | a;
-  return partitions_.contains(k);
+  return partitions_.find(k) != sim::IdMap::kNotFound;
 }
 
 void Network::set_node_extra_delay(NodeId node, sim::Time extra) {
-  if (extra <= 0) {
-    extra_delay_.erase(node);
-  } else {
-    extra_delay_[node] = extra;
+  // Stored even for ids that are no longer (or not yet) attached, matching
+  // the old side-table semantics; clamped at zero.
+  if (node >= nodes_.size()) {
+    if (extra <= 0) return;
+    nodes_.resize(node + 1);
   }
+  nodes_[node].extra_delay = extra > 0 ? extra : 0;
 }
 
 sim::Time Network::node_extra_delay(NodeId node) const {
-  auto it = extra_delay_.find(node);
-  return it == extra_delay_.end() ? 0 : it->second;
+  return node < nodes_.size() ? nodes_[node].extra_delay : 0;
 }
 
 const std::string& Network::name(NodeId id) const {
   static const std::string kUnknown = "<unknown>";
-  auto it = nodes_.find(id);
-  return it == nodes_.end() ? kUnknown : it->second.name;
+  const Slot* s = slot(id);
+  return s == nullptr ? kUnknown : s->name;
 }
 
 }  // namespace grid::net

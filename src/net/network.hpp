@@ -10,12 +10,11 @@
 #include <cstdint>
 #include <memory>
 #include <string>
-#include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "simkit/codec.hpp"
 #include "simkit/engine.hpp"
+#include "simkit/idmap.hpp"
 #include "simkit/rng.hpp"
 #include "simkit/status.hpp"
 
@@ -91,7 +90,10 @@ class MatrixLatency final : public LatencyModel {
  private:
   static std::uint64_t key(NodeId a, NodeId b);
   sim::Time default_;
-  std::unordered_map<std::uint64_t, sim::Time> pairs_;
+  // pair key -> index into values_.  IdMap instead of unordered_map: the
+  // lookup sits on the per-message send path (gridlint: hot-container).
+  sim::IdMap pair_index_;
+  std::vector<sim::Time> values_;
 };
 
 /// Base latency plus a serialization term bytes / bandwidth.
@@ -193,30 +195,42 @@ class Network {
   /// Mutable counters, for the RPC layer's retry accounting.
   NetworkStats& mutable_stats() { return stats_; }
   const std::string& name(NodeId id) const;
-  std::size_t node_count() const { return nodes_.size(); }
+  std::size_t node_count() const { return attached_; }
 
  private:
+  /// Per-node state, indexed directly by NodeId (ids are dense, assigned
+  /// sequentially from 1).  Slots are never erased — `attached` flips off
+  /// on detach — so address lookups are a bounds check plus an index, and
+  /// nothing about node bookkeeping involves hashing or rehash-order.
   struct Slot {
     Node* node = nullptr;
     std::string name;
     bool up = true;
+    bool attached = false;
     /// Bumped on every crash: messages in flight across a crash of either
     /// endpoint are dropped even if the node is restored before their
     /// delivery time (the crash cut the wire).
     std::uint64_t epoch = 0;
+    /// Injected one-way latency spike ("slow node"); 0 = none.  Survives
+    /// detach, matching the old side-table semantics.
+    sim::Time extra_delay = 0;
   };
 
   void deliver(Message msg, std::uint64_t src_epoch, std::uint64_t dst_epoch);
   std::uint64_t epoch_of(NodeId id) const;
+  Slot* slot(NodeId id);
+  const Slot* slot(NodeId id) const;
 
   sim::Engine* engine_;
   std::unique_ptr<LatencyModel> latency_;
   sim::Rng drop_rng_;
   double drop_prob_ = 0.0;
   NodeId next_id_ = 1;
-  std::unordered_map<NodeId, Slot> nodes_;
-  std::unordered_set<std::uint64_t> partitions_;
-  std::unordered_map<NodeId, sim::Time> extra_delay_;
+  std::size_t attached_ = 0;
+  std::vector<Slot> nodes_;  // index = NodeId; slot 0 unused (kInvalidNode)
+  // Blocked (a,b) pair keys.  An IdMap used as a set: deterministic across
+  // platforms and allocation-free at steady state.
+  sim::IdMap partitions_;
   NetworkStats stats_;
 };
 

@@ -2,7 +2,20 @@
 
 #include <utility>
 
+#include "simkit/check.hpp"
+
 namespace grid::net {
+
+namespace {
+Endpoint::TeardownReport& teardown_report_slot() {
+  thread_local Endpoint::TeardownReport report;
+  return report;
+}
+}  // namespace
+
+const Endpoint::TeardownReport& Endpoint::last_teardown_report() {
+  return teardown_report_slot();
+}
 
 Endpoint::Endpoint(Network& network, std::string name)
     : network_(&network), name_(std::move(name)) {
@@ -13,11 +26,25 @@ Endpoint::~Endpoint() {
   // Teardown with outstanding calls must leave nothing scheduled that
   // captures `this`: cancel every per-call timeout and every retry backoff
   // timer (each holds a lambda over this endpoint — a use-after-free if it
-  // ever fired after destruction).  Callbacks simply never fire.
-  pending_.for_each([this](std::uint64_t, PendingCall& pc) {
-    engine().cancel(pc.timeout_event);
+  // ever fired after destruction).  Callbacks simply never fire.  The
+  // audit counts what the drain found and proves both tables emptied.
+  TeardownReport report;
+  report.pending_calls = pending_.size();
+  report.retrying_calls = retrying_.size();
+  pending_.for_each([this, &report](std::uint64_t, PendingCall& pc) {
+    if (engine().cancel(pc.timeout_event)) ++report.timers_cancelled;
   });
-  drop_retrying_calls();
+  pending_.clear();
+  retrying_.for_each([this, &report](std::uint64_t, RetryingCall& rc) {
+    if (engine().cancel(rc.backoff_event)) ++report.timers_cancelled;
+  });
+  retrying_.clear();
+  report.leaked_slots = pending_.size() + retrying_.size();
+  GRID_CHECK(report.leaked_slots == 0,
+             "Endpoint teardown leaked call-table slots");
+  GRID_CHECK(pending_.consistent() && retrying_.consistent(),
+             "Endpoint call tables inconsistent at teardown");
+  teardown_report_slot() = report;
   network_->detach(id_);
 }
 
@@ -173,7 +200,7 @@ void Endpoint::fail_call(std::uint64_t call_id, util::ErrorCode code,
 }
 
 void Endpoint::register_method(std::uint32_t method, MethodHandler handler) {
-  methods_[method] = std::move(handler);
+  methods_[method] = std::move(handler);  // IdSlab::operator[]: replace-on-re-register
 }
 
 void Endpoint::respond(NodeId caller, std::uint64_t call_id,
@@ -229,14 +256,14 @@ void Endpoint::handle_message(const Message& msg) {
       // for the duration of the handler, no copy.
       const auto args = r.blob_view();
       if (!r.ok()) return;  // malformed frame: drop
-      auto it = methods_.find(method);
-      if (it == methods_.end()) {
+      MethodHandler* handler = methods_.find(method);
+      if (handler == nullptr) {
         respond_error(msg.src, call_id, util::ErrorCode::kNotFound,
                       "unknown method " + std::to_string(method));
         return;
       }
       util::Reader args_reader(args.data(), args.size());
-      it->second(msg.src, call_id, args_reader);
+      (*handler)(msg.src, call_id, args_reader);
       return;
     }
     case kFrameResponse: {
@@ -270,10 +297,10 @@ void Endpoint::handle_message(const Message& msg) {
       const std::uint32_t kind = r.u32();
       const auto payload = r.blob_view();
       if (!r.ok()) return;
-      auto it = notifies_.find(kind);
-      if (it == notifies_.end()) return;
+      NotifyHandler* handler = notifies_.find(kind);
+      if (handler == nullptr) return;
       util::Reader payload_reader(payload.data(), payload.size());
-      it->second(msg.src, payload_reader);
+      (*handler)(msg.src, payload_reader);
       return;
     }
     default:

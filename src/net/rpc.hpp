@@ -14,9 +14,7 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <string>
-#include <unordered_map>
 
 #include "net/network.hpp"
 #include "net/retry.hpp"
@@ -97,8 +95,13 @@ class Endpoint : public Node {
 
   // ---- server side -------------------------------------------------------
 
-  using MethodHandler = std::function<void(NodeId caller, std::uint64_t call_id,
-                                           util::Reader& args)>;
+  /// Handlers are InplaceFunction, not std::function: dispatch happens per
+  /// message, and the registration-time captures in this tree are a `this`
+  /// pointer (64 bytes of inline room covers them all; larger captures box
+  /// once at registration, never per call).
+  using MethodHandler =
+      sim::InplaceFunction<64, void(NodeId caller, std::uint64_t call_id,
+                                    util::Reader& args)>;
 
   void register_method(std::uint32_t method, MethodHandler handler);
 
@@ -108,7 +111,8 @@ class Endpoint : public Node {
 
   // ---- one-way notifications (used for GRAM state callbacks etc.) --------
 
-  using NotifyHandler = std::function<void(NodeId src, util::Reader& payload)>;
+  using NotifyHandler =
+      sim::InplaceFunction<64, void(NodeId src, util::Reader& payload)>;
 
   void notify(NodeId dst, std::uint32_t kind, sim::Payload payload);
   void register_notify(std::uint32_t kind, NotifyHandler handler);
@@ -130,7 +134,23 @@ class Endpoint : public Node {
   void restart() { crashed_ = false; }
 
   /// Optional hook invoked when this endpoint's host is crashed.
-  std::function<void()> crash_hook;
+  sim::InplaceFunction<48> crash_hook;
+
+  /// Teardown accounting, written by every ~Endpoint on this thread (see
+  /// last_teardown_report()).  Under GRID_CHECKED a teardown that leaks —
+  /// a call-table slot that survives the drain, or an inconsistent slab —
+  /// aborts; in all builds the report lets tests assert the audit's
+  /// numbers directly.
+  struct TeardownReport {
+    std::uint64_t pending_calls = 0;    // live plain calls found at teardown
+    std::uint64_t retrying_calls = 0;   // live retrying tickets found
+    std::uint64_t timers_cancelled = 0; // engine events this teardown killed
+    std::uint64_t leaked_slots = 0;     // entries surviving the drain (== 0)
+  };
+
+  /// The most recent teardown on the calling thread (thread-local, so
+  /// TrialPool workers never see a neighbour trial's teardown).
+  static const TeardownReport& last_teardown_report();
 
  private:
   struct PendingCall {
@@ -175,8 +195,11 @@ class Endpoint : public Node {
   std::uint64_t next_call_id_ = 1;
   sim::IdSlab<PendingCall> pending_;
   sim::IdSlab<RetryingCall> retrying_;
-  std::unordered_map<std::uint32_t, MethodHandler> methods_;
-  std::unordered_map<std::uint32_t, NotifyHandler> notifies_;
+  // Registration tables keyed by method/notify kind.  IdSlab instead of
+  // unordered_map: the lookup runs on every delivered frame, and slab
+  // storage is deterministic and allocation-free once warm.
+  sim::IdSlab<MethodHandler> methods_;
+  sim::IdSlab<NotifyHandler> notifies_;
 };
 
 }  // namespace grid::net

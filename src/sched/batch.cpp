@@ -29,7 +29,7 @@ util::Status BatchScheduler::submit(const JobDescriptor& job, StartFn on_start,
             "job needs " + std::to_string(job.count) + " processors, machine has " +
                 std::to_string(total_)};
   }
-  if (running_.contains(job.id)) {
+  if (running_.find(job.id) != nullptr) {
     return {util::ErrorCode::kInvalidArgument, "duplicate job id"};
   }
   for (const Queued& q : queue_) {
@@ -56,11 +56,11 @@ std::int64_t BatchScheduler::current_queued_work() const {
   }
   // Remaining work of running jobs also delays newcomers.
   const sim::Time now = engine_->now();
-  for (const auto& [id, r] : running_) {
+  running_.for_each([&](JobId, const Running& r) {
     const sim::Time end = estimated_end(r);
-    if (end == sim::kTimeNever || end <= now) continue;
+    if (end == sim::kTimeNever || end <= now) return;
     work += static_cast<std::int64_t>(r.desc.count) * (end - now);
-  }
+  });
   return work;
 }
 
@@ -96,9 +96,9 @@ void BatchScheduler::try_schedule() {
     const Queued& head = queue_.front();
     std::vector<std::pair<sim::Time, std::int32_t>> ends;
     ends.reserve(running_.size());
-    for (const auto& [id, r] : running_) {
+    running_.for_each([&](JobId, const Running& r) {
       ends.emplace_back(estimated_end(r), r.desc.count);
-    }
+    });
     std::sort(ends.begin(), ends.end());
     std::int32_t avail = free_;
     sim::Time shadow = sim::kTimeNever;
@@ -151,7 +151,7 @@ void BatchScheduler::start(Queued&& q) {
   history_.push_back(WaitObservation{q.submitted_at, r.started_at,
                                      q.desc.count, q.queue_length_at_submit,
                                      q.queued_work_at_submit});
-  auto& slot = running_.emplace(id, std::move(r)).first->second;
+  Running& slot = running_.emplace(id, std::move(r));
   if (slot.desc.runtime > 0) {
     slot.runtime_event = engine_->schedule_after(
         slot.desc.runtime,
@@ -166,10 +166,10 @@ void BatchScheduler::start(Queued&& q) {
 }
 
 void BatchScheduler::end_running(JobId id, EndReason reason) {
-  auto it = running_.find(id);
-  if (it == running_.end()) return;
-  Running r = std::move(it->second);
-  running_.erase(it);
+  Running* found = running_.find(id);
+  if (found == nullptr) return;
+  Running r = std::move(*found);
+  running_.erase(id);
   engine_->cancel(r.runtime_event);
   engine_->cancel(r.wall_event);
   free_ += r.desc.count;
@@ -191,7 +191,7 @@ bool BatchScheduler::cancel(JobId id) {
       return true;
     }
   }
-  if (running_.contains(id)) {
+  if (running_.find(id) != nullptr) {
     end_running(id, EndReason::kCancelled);
     return true;
   }

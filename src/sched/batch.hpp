@@ -7,9 +7,9 @@
 #pragma once
 
 #include <deque>
-#include <unordered_map>
 
 #include "sched/scheduler.hpp"
+#include "simkit/idmap.hpp"
 
 namespace grid::sched {
 
@@ -77,7 +77,7 @@ class BatchScheduler final : public LocalScheduler {
   std::int32_t free_;
   Backfill backfill_;
   std::deque<Queued> queue_;
-  std::unordered_map<JobId, Running> running_;
+  sim::IdSlab<Running> running_;
   std::vector<WaitObservation> history_;
   bool scheduling_ = false;  // re-entrancy guard for try_schedule
 };

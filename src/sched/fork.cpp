@@ -14,14 +14,14 @@ util::Status ForkScheduler::submit(const JobDescriptor& job, StartFn on_start,
   if (job.count < 1) {
     return {util::ErrorCode::kInvalidArgument, "count must be >= 1"};
   }
-  if (jobs_.contains(job.id)) {
+  if (jobs_.find(job.id) != nullptr) {
     return {util::ErrorCode::kInvalidArgument, "duplicate job id"};
   }
   Running r;
   r.desc = job;
   r.on_end = std::move(on_end);
   const sim::Time delay = fork_cost_ * job.count;
-  auto& slot = jobs_.emplace(job.id, std::move(r)).first->second;
+  Running& slot = jobs_.emplace(job.id, std::move(r));
   slot.start_event = engine_->schedule_after(
       delay, [this, id = job.id, on_start = std::move(on_start)] {
         start_job(id, on_start);
@@ -30,9 +30,9 @@ util::Status ForkScheduler::submit(const JobDescriptor& job, StartFn on_start,
 }
 
 void ForkScheduler::start_job(JobId id, StartFn on_start) {
-  auto it = jobs_.find(id);
-  if (it == jobs_.end()) return;
-  Running& r = it->second;
+  Running* found = jobs_.find(id);
+  if (found == nullptr) return;
+  Running& r = *found;
   r.started = true;
   running_count_ += r.desc.count;
   if (r.desc.runtime > 0) {
@@ -48,10 +48,10 @@ void ForkScheduler::start_job(JobId id, StartFn on_start) {
 }
 
 void ForkScheduler::end_job(JobId id, EndReason reason) {
-  auto it = jobs_.find(id);
-  if (it == jobs_.end()) return;
-  Running r = std::move(it->second);
-  jobs_.erase(it);
+  Running* found = jobs_.find(id);
+  if (found == nullptr) return;
+  Running r = std::move(*found);
+  jobs_.erase(id);
   engine_->cancel(r.start_event);
   engine_->cancel(r.runtime_event);
   engine_->cancel(r.wall_event);
@@ -62,7 +62,7 @@ void ForkScheduler::end_job(JobId id, EndReason reason) {
 void ForkScheduler::complete(JobId id) { end_job(id, EndReason::kCompleted); }
 
 bool ForkScheduler::cancel(JobId id) {
-  if (!jobs_.contains(id)) return false;
+  if (jobs_.find(id) == nullptr) return false;
   end_job(id, EndReason::kCancelled);
   return true;
 }

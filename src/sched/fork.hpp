@@ -7,9 +7,8 @@
 // process); there is no capacity limit because the host timeshares.
 #pragma once
 
-#include <unordered_map>
-
 #include "sched/scheduler.hpp"
+#include "simkit/idmap.hpp"
 
 namespace grid::sched {
 
@@ -49,7 +48,7 @@ class ForkScheduler final : public LocalScheduler {
   sim::Engine* engine_;
   sim::Time fork_cost_;
   std::int32_t nominal_;
-  std::unordered_map<JobId, Running> jobs_;
+  sim::IdSlab<Running> jobs_;
   std::int32_t running_count_ = 0;
 };
 

@@ -43,7 +43,9 @@ void LoadInformationService::tick() {
 }
 
 void LoadInformationService::publish_now() {
-  for (auto& [contact, entry] : resources_) {
+  // Snapshot refresh updates each entry in place; nothing here schedules
+  // events or sends messages, so hash order cannot leak into results.
+  for (auto& [contact, entry] : resources_) {  // gridlint: allow(unordered-iter)
     if (entry.sched != nullptr) {
       entry.last = entry.sched->snapshot();
       entry.published = true;

@@ -48,10 +48,10 @@ std::int32_t ReservationScheduler::max_reserved_over(sim::Time from,
 
 std::int32_t ReservationScheduler::estimated_running_at(sim::Time t) const {
   std::int32_t sum = 0;
-  for (const auto& [id, r] : running_) {
-    if (r.reservation != 0) continue;  // accounted by its reservation window
+  running_.for_each([&](JobId, const Running& r) {
+    if (r.reservation != 0) return;  // accounted by its reservation window
     if (r.started_at + job_estimate(r.desc) > t) sum += r.desc.count;
-  }
+  });
   return sum;
 }
 
@@ -93,9 +93,9 @@ util::Result<Reservation> ReservationScheduler::reserve(sim::Time start,
   engine_->schedule_at(start, [this] { try_schedule(); });
   engine_->schedule_at(end, [this, rid = r.id] {
     std::vector<JobId> to_kill;
-    for (const auto& [jid, run] : running_) {
+    running_.for_each([&](JobId jid, const Running& run) {
       if (run.reservation == rid) to_kill.push_back(jid);
-    }
+    });
     for (JobId jid : to_kill) end_running(jid, EndReason::kWallTimeExceeded);
     std::erase_if(reservations_,
                   [rid](const Reservation& x) { return x.id == rid; });
@@ -194,9 +194,9 @@ void ReservationScheduler::try_schedule() {
       Queued& q = queue_[i];
       if (q.reservation != 0) continue;
       std::int32_t busy_best = 0;
-      for (const auto& [id, r] : running_) {
+      running_.for_each([&](JobId, const Running& r) {
         if (r.reservation == 0) busy_best += r.desc.count;
-      }
+      });
       const sim::Time est = job_estimate(q.desc);
       const std::int32_t reserved_peak =
           max_reserved_over(now, now + est, /*skip=*/0);
@@ -220,7 +220,7 @@ void ReservationScheduler::start(Queued&& q) {
   r.started_at = engine_->now();
   r.reservation = q.reservation;
   const JobId id = q.desc.id;
-  auto& slot = running_.emplace(id, std::move(r)).first->second;
+  Running& slot = running_.emplace(id, std::move(r));
   if (slot.desc.runtime > 0) {
     slot.runtime_event = engine_->schedule_after(
         slot.desc.runtime,
@@ -235,10 +235,10 @@ void ReservationScheduler::start(Queued&& q) {
 }
 
 void ReservationScheduler::end_running(JobId id, EndReason reason) {
-  auto it = running_.find(id);
-  if (it == running_.end()) return;
-  Running r = std::move(it->second);
-  running_.erase(it);
+  Running* found = running_.find(id);
+  if (found == nullptr) return;
+  Running r = std::move(*found);
+  running_.erase(id);
   engine_->cancel(r.runtime_event);
   engine_->cancel(r.wall_event);
   busy_ -= r.desc.count;
@@ -260,7 +260,7 @@ bool ReservationScheduler::cancel(JobId id) {
       return true;
     }
   }
-  if (running_.contains(id)) {
+  if (running_.find(id) != nullptr) {
     end_running(id, EndReason::kCancelled);
     return true;
   }

@@ -10,10 +10,10 @@
 #pragma once
 
 #include <deque>
-#include <unordered_map>
 #include <vector>
 
 #include "sched/scheduler.hpp"
+#include "simkit/idmap.hpp"
 
 namespace grid::sched {
 
@@ -101,7 +101,7 @@ class ReservationScheduler final : public LocalScheduler {
   ReservationId next_reservation_ = 1;
   std::vector<Reservation> reservations_;
   std::deque<Queued> queue_;
-  std::unordered_map<JobId, Running> running_;
+  sim::IdSlab<Running> running_;
   bool scheduling_ = false;
 };
 

@@ -1,0 +1,65 @@
+// Global counting allocator hook backing sim::AllocGuard.
+//
+// Replaces the replaceable global allocation functions with counting
+// versions (one thread_local increment per allocation, then malloc /
+// aligned_alloc exactly like the defaults).  This TU is linked into a
+// binary only when something references AllocGuard::thread_allocations();
+// see allocguard.hpp.  Sanitizer builds still see every allocation: the
+// replacements bottom out in malloc/free, which ASan/TSan intercept.
+#include "simkit/allocguard.hpp"
+
+#include <cstdlib>
+#include <new>
+
+namespace {
+thread_local std::uint64_t t_alloc_count = 0;
+}  // namespace
+
+namespace grid::sim {
+
+std::uint64_t AllocGuard::thread_allocations() { return t_alloc_count; }
+
+}  // namespace grid::sim
+
+// gridlint: allow(naked-new): this IS the allocator — the counting
+// replacements for the global allocation functions.
+void* operator new(std::size_t n) {
+  ++t_alloc_count;
+  void* p = std::malloc(n > 0 ? n : 1);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+void* operator new[](std::size_t n) { return ::operator new(n); }
+void* operator new(std::size_t n, const std::nothrow_t&) noexcept {
+  ++t_alloc_count;
+  return std::malloc(n > 0 ? n : 1);
+}
+void* operator new[](std::size_t n, const std::nothrow_t&) noexcept {
+  return ::operator new(n, std::nothrow);
+}
+void* operator new(std::size_t n, std::align_val_t al) {
+  ++t_alloc_count;
+  const std::size_t a = static_cast<std::size_t>(al);
+  void* p = std::aligned_alloc(a, (n + a - 1) / a * a);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+void* operator new[](std::size_t n, std::align_val_t al) {
+  return ::operator new(n, al);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}

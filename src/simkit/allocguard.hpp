@@ -1,0 +1,45 @@
+// Scoped allocation counting for zero-allocation assertions.
+//
+// The steady-state message path is allocation-free by design (DESIGN.md
+// §5.3); bench/micro_net proved it with a local counting `operator new`
+// hook.  AllocGuard promotes that hook into simkit so *any* test or bench
+// can assert a zero-allocation region:
+//
+//   sim::AllocGuard guard;
+//   ... run the steady-state window ...
+//   EXPECT_EQ(guard.allocations(), 0u);
+//
+// The counting `operator new`/`operator delete` replacements live in
+// allocguard.cpp.  Because grid_simkit is a static library, that object
+// file — and with it the global replacement — is linked into a binary only
+// when the binary actually references AllocGuard; programs that never use
+// the guard keep the default allocator.  Counting is per-thread (a
+// thread_local counter, no atomics), which both keeps the hook cheap and
+// gives the right semantics under sim::TrialPool: a guard observes the
+// allocations of its own trial, never a neighbour's.
+#pragma once
+
+#include <cstdint>
+
+namespace grid::sim {
+
+class AllocGuard {
+ public:
+  /// Starts a counting region on the calling thread.
+  AllocGuard() : start_(thread_allocations()) {}
+  AllocGuard(const AllocGuard&) = delete;
+  AllocGuard& operator=(const AllocGuard&) = delete;
+
+  /// Heap allocations (any `new`, including ones buried in libstdc++) made
+  /// by this thread since the guard was constructed.
+  std::uint64_t allocations() const { return thread_allocations() - start_; }
+
+  /// Total allocations ever observed on the calling thread.  Defined in
+  /// allocguard.cpp; referencing it is what pulls in the counting hook.
+  static std::uint64_t thread_allocations();
+
+ private:
+  std::uint64_t start_;
+};
+
+}  // namespace grid::sim

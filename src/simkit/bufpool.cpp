@@ -26,10 +26,15 @@ Payload BufferPool::acquire() {
   ++stats_.acquired;
   detail::PayloadBuffer* b = free_;
   if (b != nullptr) {
+    GRID_CHECK(b->on_free_list && b->refs == 0,
+               "BufferPool free list holds a live buffer (double take?)");
+    b->on_free_list = false;
     free_ = b->next_free;
     b->next_free = nullptr;
     ++stats_.recycled;
   } else {
+    // Pool growth, cold path — the buffer is owned by all_ for the pool's
+    // lifetime and recycled thereafter.  gridlint: allow(naked-new)
     b = new detail::PayloadBuffer;
     b->pool = this;
     all_.push_back(b);
@@ -49,8 +54,12 @@ Payload BufferPool::adopt(std::vector<std::uint8_t>&& bytes) {
 }
 
 void BufferPool::release(detail::PayloadBuffer* b) {
+  GRID_CHECK(!b->on_free_list,
+             "BufferPool::release of a buffer already on the free list");
+  GRID_CHECK(b->refs == 0, "BufferPool::release of a buffer with live refs");
   b->data.clear();  // keeps capacity
   b->recycled = true;
+  b->on_free_list = true;
   b->next_free = free_;
   free_ = b;
 }

@@ -19,11 +19,19 @@
 //   - Buffers belong to a thread-local pool (`BufferPool::local()`), which
 //     matches sim::TrialPool's one-trial-per-thread isolation: handles must
 //     not cross threads, and never do (each trial owns its whole world).
+//
+// Under GRID_CHECKED (see simkit/check.hpp) the pool turns its ownership
+// rules into tripwires: releasing a buffer that is already on the free
+// list (double take-back), handing out a free-list buffer with live
+// references (free-list corruption), or mutating a shared buffer all
+// abort with a diagnostic instead of silently corrupting payloads.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
 #include <vector>
+
+#include "simkit/check.hpp"
 
 namespace grid::sim {
 
@@ -40,6 +48,10 @@ struct PayloadBuffer {
   /// for adopted vectors, whose storage came from the general allocator).
   /// Drives the NetworkStats fresh/recycled accounting.
   bool recycled = false;
+  /// True while the buffer sits on the pool's free list.  The GRID_CHECKED
+  /// tripwires use it to catch double-release and use-after-release; the
+  /// fast path never reads it.
+  bool on_free_list = false;
   PayloadBuffer* next_free = nullptr;
   BufferPool* pool = nullptr;
 };
@@ -73,7 +85,11 @@ class Payload {
   /// bytes must be treated as frozen once shared: any holder's Reader sees
   /// the same storage.
   Payload share() const {
-    if (buf_ != nullptr) ++buf_->refs;
+    if (buf_ != nullptr) {
+      GRID_CHECK(!buf_->on_free_list && buf_->refs > 0,
+                 "Payload::share on a buffer already returned to the pool");
+      ++buf_->refs;
+    }
     return Payload(buf_);
   }
 
@@ -96,7 +112,14 @@ class Payload {
 
   /// The backing vector.  Only the unique owner (ref_count() == 1) may
   /// mutate; the Writer is the only mutating client.
-  std::vector<std::uint8_t>& mutable_bytes() { return buf_->data; }
+  std::vector<std::uint8_t>& mutable_bytes() {
+    GRID_CHECK(buf_ != nullptr && !buf_->on_free_list,
+               "Payload::mutable_bytes on a released buffer");
+    GRID_CHECK(buf_->refs == 1,
+               "Payload::mutable_bytes on a shared buffer (frozen once "
+               "shared; only the unique owner may mutate)");
+    return buf_->data;
+  }
   const std::vector<std::uint8_t>& bytes() const;
 
  private:
@@ -146,7 +169,12 @@ class BufferPool {
 };
 
 inline void Payload::reset() {
-  if (buf_ != nullptr && --buf_->refs == 0) buf_->pool->release(buf_);
+  if (buf_ != nullptr) {
+    GRID_CHECK(!buf_->on_free_list && buf_->refs > 0,
+               "Payload handle dropped after its buffer returned to the pool "
+               "(double take-back)");
+    if (--buf_->refs == 0) buf_->pool->release(buf_);
+  }
   buf_ = nullptr;
 }
 

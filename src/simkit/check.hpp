@@ -1,0 +1,42 @@
+// GRID_CHECK: hard-failing runtime invariant tripwires.
+//
+// The simulator's correctness story rests on invariants the type system
+// cannot express: pooled buffers are never touched after their last handle
+// drops, the engine's index-tracking heap stays consistent across cancels,
+// call tables drain at endpoint teardown.  In normal builds those hold by
+// construction and cost nothing to assume; under `GRID_CHECKED` (the
+// `checked` CMake preset) every one of them is verified at runtime and a
+// violation aborts the process with a file:line diagnostic — fail loudly,
+// never limp on with corrupted simulation state.
+//
+// GRID_CHECK compiles to nothing when GRID_CHECKED is off, so it may guard
+// O(n) audits (heap scans, table walks) that would be unacceptable in the
+// measurement builds.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace grid::sim {
+
+[[noreturn]] inline void check_fail(const char* file, int line,
+                                    const char* what) {
+  std::fprintf(stderr, "GRID_CHECK failed at %s:%d: %s\n", file, line, what);
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace grid::sim
+
+#if defined(GRID_CHECKED)
+#define GRID_CHECK(cond, what)                                      \
+  do {                                                              \
+    if (!(cond)) ::grid::sim::check_fail(__FILE__, __LINE__, what); \
+  } while (false)
+#define GRID_CHECKED_ONLY(...) __VA_ARGS__
+#else
+#define GRID_CHECK(cond, what) \
+  do {                         \
+  } while (false)
+#define GRID_CHECKED_ONLY(...)
+#endif

@@ -112,6 +112,18 @@ bool Engine::cancel(EventId id) {
   if (e.gen != id_gen(id.raw_)) return false;
   heap_erase(e.heap_pos);
   release_slot(slot);
+  GRID_CHECK(heap_consistent(),
+             "Engine heap inconsistent after cancel (index-tracking broke)");
+  return true;
+}
+
+bool Engine::heap_consistent() const {
+  for (std::uint32_t i = 0; i < heap_.size(); ++i) {
+    const HeapItem& item = heap_[i];
+    if (i > 0 && before(item, heap_[(i - 1) / kArity])) return false;
+    if (item.slot >= slots_.size()) return false;
+    if (slots_[item.slot].heap_pos != i) return false;
+  }
   return true;
 }
 

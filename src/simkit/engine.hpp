@@ -23,6 +23,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "simkit/check.hpp"
 #include "simkit/inplace_function.hpp"
 #include "simkit/time.hpp"
 
@@ -95,6 +96,12 @@ class Engine {
 
   /// Total number of events executed since construction.
   std::uint64_t executed() const { return executed_; }
+
+  /// Self-audit of the index-tracking heap: the 4-ary heap property holds
+  /// and every heap item's slab entry records its true position.  O(n);
+  /// GRID_CHECKED builds run it after every cancel (the only operation
+  /// that moves an arbitrary interior item), tests may call it directly.
+  bool heap_consistent() const;
 
  private:
   // The slab holds the callback and the handle generation; the sort key

@@ -18,6 +18,8 @@
 #include <utility>
 #include <vector>
 
+#include "simkit/check.hpp"
+
 namespace grid::sim {
 
 /// uint64 -> uint32 open-addressed hash map, linear probing, power-of-two
@@ -28,6 +30,8 @@ class IdMap {
   static constexpr std::uint32_t kNotFound = 0xffffffffu;
 
   void insert(std::uint64_t key, std::uint32_t value) {
+    GRID_CHECK(key != 0, "IdMap key 0 is reserved (empty-cell marker)");
+    GRID_CHECK(find(key) == kNotFound, "IdMap::insert of a key already present");
     if (cells_.empty() || (size_ + 1) * 4 >= cells_.size() * 3) grow();
     const std::size_t mask = cells_.size() - 1;
     std::size_t i = hash(key) & mask;
@@ -117,10 +121,15 @@ template <typename T>
 class IdSlab {
  public:
   T& emplace(std::uint64_t id, T&& value) {
+    GRID_CHECK(id != 0, "IdSlab ids must be nonzero");
+    GRID_CHECK(index_.find(id) == IdMap::kNotFound,
+               "IdSlab::emplace of an id already present");
     std::uint32_t slot;
     if (!free_.empty()) {
       slot = free_.back();
       free_.pop_back();
+      GRID_CHECK(slots_[slot].id == 0,
+                 "IdSlab free list holds an occupied slot");
     } else {
       slot = static_cast<std::uint32_t>(slots_.size());
       slots_.emplace_back();
@@ -131,27 +140,59 @@ class IdSlab {
     return *slots_[slot].value;
   }
 
+  /// Find-or-default-construct, `unordered_map::operator[]` shape (requires
+  /// a default-constructible T).  Registration-table idiom:
+  /// `table[id] = handler;` replaces any previous entry for `id`.
+  T& operator[](std::uint64_t id) {
+    if (T* existing = find(id)) return *existing;
+    return emplace(id, T{});
+  }
+
   T* find(std::uint64_t id) {
     const std::uint32_t slot = index_.find(id);
     if (slot == IdMap::kNotFound) return nullptr;
+    GRID_CHECK(slots_[slot].id == id,
+               "IdSlab index/slot generation mismatch (stale index entry)");
+    return &*slots_[slot].value;
+  }
+
+  const T* find(std::uint64_t id) const {
+    const std::uint32_t slot = index_.find(id);
+    if (slot == IdMap::kNotFound) return nullptr;
+    GRID_CHECK(slots_[slot].id == id,
+               "IdSlab index/slot generation mismatch (stale index entry)");
     return &*slots_[slot].value;
   }
 
   bool erase(std::uint64_t id) {
     const std::uint32_t slot = index_.find(id);
     if (slot == IdMap::kNotFound) return false;
+    GRID_CHECK(slots_[slot].id == id,
+               "IdSlab index/slot generation mismatch (stale index entry)");
     slots_[slot].value.reset();
     slots_[slot].id = 0;
+    ++slots_[slot].gen;  // invalidates any notion of "the previous occupant"
     free_.push_back(slot);
     index_.erase(id);
+    GRID_CHECK(consistent(), "IdSlab inconsistent after erase");
     return true;
   }
 
-  /// Visits every live entry as fn(id, T&).  Erasing during iteration is
+  /// Visits every live entry as fn(id, T&), in slot order — a deterministic
+  /// order (a pure function of the emplace/erase history, never of hashing),
+  /// which is why code that sends messages or schedules events may iterate
+  /// an IdSlab but not an unordered container.  Erasing during iteration is
   /// not supported — collect ids first or use clear().
   template <typename Fn>
   void for_each(Fn&& fn) {
     for (Slot& s : slots_) {
+      if (s.id != 0) fn(s.id, *s.value);
+    }
+  }
+
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (const Slot& s : slots_) {
       if (s.id != 0) fn(s.id, *s.value);
     }
   }
@@ -172,9 +213,37 @@ class IdSlab {
   std::size_t size() const { return index_.size(); }
   bool empty() const { return index_.empty(); }
 
+  /// Full cross-check of slab/index/free-list agreement: every live slot
+  /// maps back to itself through the index, the index holds exactly the
+  /// live slots, and the free list holds exactly the vacant ones.  O(n);
+  /// called from GRID_CHECKED tripwires and tests, never the fast path.
+  bool consistent() const {
+    std::size_t live = 0;
+    for (std::uint32_t i = 0; i < slots_.size(); ++i) {
+      const Slot& s = slots_[i];
+      if (s.id == 0) {
+        if (s.value.has_value()) return false;
+        continue;
+      }
+      ++live;
+      if (!s.value.has_value()) return false;
+      if (index_.find(s.id) != i) return false;
+    }
+    if (live != index_.size()) return false;
+    if (live + free_.size() != slots_.size()) return false;
+    for (const std::uint32_t f : free_) {
+      if (f >= slots_.size() || slots_[f].id != 0) return false;
+    }
+    return true;
+  }
+
  private:
   struct Slot {
     std::uint64_t id = 0;  // 0 = vacant
+    /// Occupancy generation, bumped on erase.  Diagnostic only: the
+    /// GRID_CHECKED mismatch tripwires compare ids, and a changed gen is
+    /// what distinguishes "slot reused by a newer entry" from corruption.
+    std::uint32_t gen = 0;
     std::optional<T> value;
   };
 

@@ -1,0 +1,15 @@
+// gridlint-fixture: src/core/fixture.cpp -
+// Idiomatic hot-layer code: slab storage, inline callbacks, engine time.
+// Mentions of banned names inside comments (std::unordered_map,
+// steady_clock, getenv) and strings must not trip the scanner.
+#include <cstdint>
+
+#include "simkit/engine.hpp"
+#include "simkit/idmap.hpp"
+#include "simkit/inplace_function.hpp"
+
+struct FixtureAgent {
+  grid::sim::IdSlab<int> jobs;
+  grid::sim::InplaceFunction<48, void(std::uint64_t)> on_done;
+  const char* banner = "not a real getenv( call";
+};

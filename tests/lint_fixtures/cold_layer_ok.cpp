@@ -1,0 +1,13 @@
+// gridlint-fixture: src/rsl/fixture.cpp -
+// Outside the hot layers an unordered container is fine as long as it is
+// never iterated: RSL attribute tables are lookup-only, string-keyed.
+#include <string>
+#include <unordered_map>
+
+struct FixtureBindings {
+  std::unordered_map<std::string, std::string> params;
+  const std::string* find(const std::string& key) const {
+    auto it = params.find(key);
+    return it == params.end() ? nullptr : &it->second;
+  }
+};

@@ -1,0 +1,10 @@
+// gridlint-fixture: src/gram/fixture.cpp env
+// Raw environment reads bypass the ProcessApi abstraction that lets tests
+// inject a simulated environment.
+#include <cstdlib>
+#include <string>
+
+std::string fixture_user() {
+  const char* u = std::getenv("USER");
+  return u == nullptr ? "" : u;
+}

@@ -1,0 +1,9 @@
+// gridlint-fixture: src/net/fixture.hpp hot-container
+// A node-based hash map on the message path allocates per insert and
+// iterates in hash order; the hot layers use sim::IdMap / sim::IdSlab.
+#include <cstdint>
+#include <unordered_map>
+
+struct FixtureTable {
+  std::unordered_map<std::uint64_t, int> calls;
+};

@@ -1,0 +1,8 @@
+// gridlint-fixture: src/net/fixture.hpp hot-function
+// std::function's type-erased heap capture is banned where callbacks run
+// per message; sim::InplaceFunction keeps typical captures inline.
+#include <functional>
+
+struct FixtureHandler {
+  std::function<void(int)> on_message;
+};

@@ -1,0 +1,8 @@
+// gridlint-fixture: src/net/fixture.cpp naked-new
+// Steady-state message code draws buffers from the pool and call slots
+// from slabs; a raw allocation here is a regression.
+#include <cstdint>
+
+std::uint8_t* fixture_frame(std::size_t n) {
+  return new std::uint8_t[n];
+}

@@ -1,0 +1,12 @@
+// gridlint-fixture: src/net/fixture.cpp -
+// A justified inline suppression silences exactly the named rule on the
+// next line — the scanner must report nothing here.
+#include <cstdint>
+
+struct FixturePool {
+  std::uint8_t* grow(std::size_t n) {
+    // Cold-path pool growth, owned for the process lifetime.
+    // gridlint: allow(naked-new)
+    return new std::uint8_t[n];
+  }
+};

@@ -1,0 +1,15 @@
+// gridlint-fixture: src/sched/fixture.cpp unordered-iter
+// Iterating an unordered container in code that could schedule events or
+// send messages leaks hash order into simulation results.
+#include <unordered_map>
+
+struct FixtureSweep {
+  std::unordered_map<unsigned long long, int> running_jobs;
+  int total() {
+    int sum = 0;
+    for (const auto& entry : running_jobs) {
+      sum += entry.second;
+    }
+    return sum;
+  }
+};

@@ -1,0 +1,9 @@
+// gridlint-fixture: src/core/fixture.cpp wallclock
+// Reading the host clock inside simulated code makes results depend on
+// the machine running the simulation.
+#include <chrono>
+
+long long fixture_now_ns() {
+  const auto t = std::chrono::steady_clock::now();
+  return t.time_since_epoch().count();
+}

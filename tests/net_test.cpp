@@ -10,6 +10,7 @@
 #include "app/failure.hpp"
 #include "net/network.hpp"
 #include "net/rpc.hpp"
+#include "simkit/allocguard.hpp"
 
 namespace grid {
 namespace {
@@ -603,6 +604,103 @@ TEST_F(RpcFixture, LargeResponseCaptureStillFires) {
               });
   engine.run();
   EXPECT_TRUE(fired);
+}
+
+
+// ---- endpoint teardown ----------------------------------------------------------
+
+// Destroying an endpoint with calls still in flight must drain both call
+// tables, kill every timer that captures the endpoint, and never fire the
+// response callbacks.  The teardown audit reports exactly what it found.
+TEST_F(RpcFixture, TeardownMidFlightDrainsTablesAndSilencesCallbacks) {
+  int fired = 0;
+  {
+    net::Endpoint doomed{network, "doomed"};
+    // One plain call with a timeout (server never answers: method 9 is
+    // registered but deliberately silent) ...
+    server.register_method(9, [](net::NodeId, std::uint64_t, util::Reader&) {});
+    util::Writer w;
+    w.u32(1);
+    doomed.call(server.id(), 9, w.take(), 5 * sim::kSecond,
+                [&](const util::Status&, util::Reader&) { ++fired; });
+    // ... and one retrying call whose first attempt is in flight (its
+    // inner call occupies a second pending slot plus a timeout timer).
+    net::RetryPolicy policy;
+    doomed.retrying_call(server.id(), 9, {}, policy,
+                         [&](const util::Status&, util::Reader&) { ++fired; });
+    EXPECT_EQ(doomed.pending_calls(), 2u);
+    EXPECT_EQ(doomed.pending_retrying_calls(), 1u);
+    // Destroyed here, with everything outstanding.
+  }
+  const auto& report = net::Endpoint::last_teardown_report();
+  EXPECT_EQ(report.pending_calls, 2u);
+  EXPECT_EQ(report.retrying_calls, 1u);
+  EXPECT_EQ(report.timers_cancelled, 2u);  // both attempt-timeout timers
+  EXPECT_EQ(report.leaked_slots, 0u);
+  // Draining the rest of the simulation (request frames arriving at the
+  // server, responses sent back to a detached node) must fire nothing.
+  engine.run();
+  EXPECT_EQ(fired, 0);
+}
+
+TEST_F(RpcFixture, TeardownWithBackoffTimerCancelsIt) {
+  int fired = 0;
+  {
+    net::Endpoint doomed{network, "doomed"};
+    server.register_method(9, [](net::NodeId, std::uint64_t, util::Reader&) {});
+    net::RetryPolicy policy;
+    policy.attempt_timeout = 10 * sim::kMillisecond;
+    policy.initial_backoff = 10 * sim::kSecond;
+    policy.jitter = 0.0;
+    // The server swallows method 9: the first attempt times out and the
+    // call parks on its backoff timer (clamped to max_backoff, still far
+    // past the point where we tear down).
+    doomed.retrying_call(server.id(), 9, {}, policy,
+                         [&](const util::Status&, util::Reader&) { ++fired; });
+    engine.run_until(sim::kSecond);
+    EXPECT_EQ(doomed.pending_calls(), 0u);        // attempt timed out
+    EXPECT_EQ(doomed.pending_retrying_calls(), 1u);  // waiting out backoff
+  }
+  const auto& report = net::Endpoint::last_teardown_report();
+  EXPECT_EQ(report.retrying_calls, 1u);
+  EXPECT_EQ(report.timers_cancelled, 1u);  // the backoff timer
+  EXPECT_EQ(report.leaked_slots, 0u);
+  engine.run();
+  EXPECT_EQ(fired, 0);
+}
+
+// ---- allocation shape -----------------------------------------------------------
+
+// The zero-allocation steady-state claim, asserted in-tree (bench/micro_net
+// makes the same check at benchmark scale).  After warmup, a request/
+// response round-trip must not touch the heap: payloads come from the
+// pool, call slots from slabs, and callbacks stay inline.
+TEST_F(RpcFixture, SteadyStateRoundTripAllocatesNothing) {
+  server.register_method(
+      7, [&](net::NodeId caller, std::uint64_t id, util::Reader& args) {
+        const auto x = args.u32();
+        util::Writer w;
+        w.reserve(4);
+        w.u32(x + 1);
+        server.respond(caller, id, w.take());
+      });
+  std::uint32_t sink = 0;
+  auto roundtrip = [&] {
+    util::Writer w;
+    w.reserve(4);
+    w.u32(5);
+    client.call(server.id(), 7, w.take(), 0,
+                [&sink](const util::Status&, util::Reader& reply) {
+                  sink += reply.u32();
+                });
+    engine.run();
+  };
+  for (int i = 0; i < 64; ++i) roundtrip();  // pools and slabs reach capacity
+  sink = 0;
+  sim::AllocGuard guard;
+  for (int i = 0; i < 256; ++i) roundtrip();
+  EXPECT_EQ(guard.allocations(), 0u);
+  EXPECT_EQ(sink, 256u * 6u);
 }
 
 }  // namespace

@@ -277,7 +277,7 @@ TEST_P(BackfillProperty, HeadNeverDelayedVsFcfs) {
       Run run;
       run.starts.resize(40, -1);
       sim::Rng local = rng;  // same workload for both modes
-      for (JobId id = 0; id < 40; ++id) {
+      for (JobId id = 1; id <= 40; ++id) {
         const auto count = static_cast<std::int32_t>(local.uniform_int(1, 32));
         const sim::Time runtime = local.uniform_time(1, 100) * sim::kSecond;
         const sim::Time at = local.uniform_time(0, 200) * sim::kSecond;

@@ -937,5 +937,57 @@ TEST(Result, TakeMovesValue) {
   EXPECT_EQ(v, "payload");
 }
 
+
+TEST(IdSlab, OperatorIndexFindsOrDefaultConstructs) {
+  sim::IdSlab<int> slab;
+  slab[7] = 41;          // default-constructs, then assigns
+  EXPECT_EQ(slab.size(), 1u);
+  slab[7] = 42;          // finds the existing entry: replace, not grow
+  EXPECT_EQ(slab.size(), 1u);
+  ASSERT_NE(slab.find(7), nullptr);
+  EXPECT_EQ(*slab.find(7), 42);
+}
+
+TEST(IdSlab, ForEachVisitsSlotOrderNotInsertionOrder) {
+  // The determinism contract: iteration order is a pure function of the
+  // emplace/erase history.  Erasing id 2 vacates slot 1; the next emplace
+  // recycles that slot, so id 4 is visited between 1 and 3.
+  sim::IdSlab<int> slab;
+  slab.emplace(1, 10);
+  slab.emplace(2, 20);
+  slab.emplace(3, 30);
+  slab.erase(2);
+  slab.emplace(4, 40);
+  std::vector<std::uint64_t> order;
+  slab.for_each([&](std::uint64_t id, int&) { order.push_back(id); });
+  EXPECT_EQ(order, (std::vector<std::uint64_t>{1, 4, 3}));
+}
+
+TEST(IdSlab, ConsistentHoldsAcrossRandomChurn) {
+  sim::Rng rng(0xc0ffee);
+  sim::IdSlab<std::uint64_t> slab;
+  std::vector<std::uint64_t> live;
+  for (int step = 0; step < 2000; ++step) {
+    if (live.empty() || rng.chance(0.6)) {
+      const std::uint64_t id = rng.uniform_int(1, 1u << 20);
+      if (slab.find(id) == nullptr) {
+        slab.emplace(id, id * 3);
+        live.push_back(id);
+      }
+    } else {
+      const std::size_t pick = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(live.size()) - 1));
+      slab.erase(live[pick]);
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(pick));
+    }
+    ASSERT_TRUE(slab.consistent()) << "after step " << step;
+    ASSERT_EQ(slab.size(), live.size());
+  }
+  for (const std::uint64_t id : live) {
+    ASSERT_NE(slab.find(id), nullptr);
+    EXPECT_EQ(*slab.find(id), id * 3);
+  }
+}
+
 }  // namespace
 }  // namespace grid

@@ -1,0 +1,350 @@
+#!/usr/bin/env python3
+"""gridlint: source-hygiene scanner for the co-allocation stack.
+
+The simulator's determinism and performance contracts are easy to break
+with one innocent-looking line: a `steady_clock::now()` call makes results
+machine-dependent, an `unordered_map` on a message path reintroduces the
+per-insert allocations the slab work removed, and iterating an unordered
+container while scheduling events makes event order depend on the hash
+function.  The compiler accepts all of these; this scanner does not.
+
+Rules (each can be suppressed per line with `// gridlint: allow(<rule>)`
+on the offending or the preceding line, or per file via ALLOW below —
+every file-level allow carries its justification):
+
+  wallclock      wall-clock time sources (`system_clock`, `steady_clock`,
+                 `std::rand`, `time(...)`, `gettimeofday`) anywhere in
+                 src/.  Simulated time comes from sim::Engine; the only
+                 wall-clock consumer is the trial-pool harness.
+  env            raw environment access (`getenv`) in src/.  Simulated
+                 processes read their environment through the ProcessApi
+                 abstraction so tests can inject it.
+  hot-container  `std::unordered_map`/`std::unordered_set` in the hot
+                 layers (src/net, src/core, src/simkit).  Use sim::IdMap /
+                 sim::IdSlab: deterministic iteration, zero steady-state
+                 allocation.
+  hot-function   `std::function` in src/net or src/simkit.  Per-message
+                 callbacks use sim::InplaceFunction; std::function's
+                 type-erased heap capture is reserved for registration-time
+                 APIs in the cold layers.
+  unordered-iter range-for over a container declared unordered anywhere in
+                 src/.  Iteration order is hash-dependent; if the loop body
+                 schedules events or sends messages, results silently stop
+                 being reproducible.  Order-independent folds may suppress
+                 with a comment explaining why order cannot leak.
+  naked-new      `new` / `malloc` in the steady-state message path
+                 (src/net, simkit/bufpool, simkit/codec).  Buffers come
+                 from the pool; call state lives in slabs.
+
+Exit status: 0 clean, 1 findings, 2 usage error.  `--selftest` runs the
+rules against tests/lint_fixtures/ and verifies each rule both fires on
+its bad fixture and stays silent on the clean one.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import re
+import sys
+
+# ---------------------------------------------------------------------------
+# Rule table
+# ---------------------------------------------------------------------------
+
+HOT_LAYERS = ("src/net/", "src/core/", "src/simkit/")
+MESSAGE_PATH = (
+    "src/net/",
+    "src/simkit/bufpool",
+    "src/simkit/codec",
+)
+
+RULES = {
+    "wallclock": {
+        "pattern": re.compile(
+            r"std::chrono::(?:system_clock|steady_clock|high_resolution_clock)"
+            r"|(?<!\w)(?:system_clock|steady_clock|high_resolution_clock)::now"
+            r"|std::rand\s*\(|(?<![\w:.])rand\s*\(\s*\)"
+            r"|(?<![\w:.>])time\s*\(\s*(?:NULL|nullptr|0|&)"
+            r"|gettimeofday\s*\(|clock_gettime\s*\("
+        ),
+        "applies": lambda p: p.startswith("src/"),
+        "message": "wall-clock time source; simulated code uses sim::Engine time",
+    },
+    "env": {
+        "pattern": re.compile(r"std::getenv\s*\(|(?<![\w:.>])getenv\s*\("),
+        "applies": lambda p: p.startswith("src/"),
+        "message": "raw environment access; go through the ProcessApi abstraction",
+    },
+    "hot-container": {
+        "pattern": re.compile(r"std::unordered_(?:map|set)\b"),
+        "applies": lambda p: p.startswith(HOT_LAYERS),
+        "message": "unordered container in a hot layer; use sim::IdMap/sim::IdSlab",
+    },
+    "hot-function": {
+        "pattern": re.compile(r"std::function\b"),
+        "applies": lambda p: p.startswith(("src/net/", "src/simkit/")),
+        "message": "std::function in a hot layer; use sim::InplaceFunction",
+    },
+    # Handled specially (needs the cross-file set of unordered names).
+    "unordered-iter": {
+        "pattern": None,
+        "applies": lambda p: p.startswith("src/"),
+        "message": "iteration over an unordered container; order is "
+                   "hash-dependent and must not reach events or messages",
+    },
+    "naked-new": {
+        "pattern": re.compile(r"(?<![\w:.])new\b(?!\s*\()|(?<![\w:.])malloc\s*\("),
+        "applies": lambda p: p.startswith(MESSAGE_PATH),
+        "message": "raw allocation on the message path; use the buffer pool / slabs",
+    },
+}
+
+# File-level allows.  Every entry says WHY the rule does not apply; an
+# unexplained entry is a review failure, not a config.
+ALLOW = {
+    ("src/simkit/trialpool.cpp", "wallclock"):
+        "the trial pool is the harness boundary: it times real threads",
+    ("src/simkit/trialpool.cpp", "env"):
+        "GRID_TRIAL_THREADS is read once at pool construction, harness-side",
+    ("src/simkit/trialpool.hpp", "hot-function"):
+        "trial bodies run once per seeded trial, never per event",
+    ("src/simkit/trialpool.cpp", "hot-function"):
+        "same registration-time std::function as the header",
+    ("src/simkit/log.hpp", "hot-function"):
+        "log sinks are installed once per run; logging is compiled out of "
+        "measurement builds",
+    ("src/gram/process.hpp", "env"):
+        "ProcessApi IS the sanctioned environment abstraction",
+    ("src/gram/jobmanager.cpp", "env"):
+        "concrete ProcessApi implementation backing the abstraction",
+}
+
+SUPPRESS_RE = re.compile(r"gridlint:\s*allow\(([a-z-]+)\)")
+FIXTURE_RE = re.compile(r"^//\s*gridlint-fixture:\s*(\S+)\s+(\S+)")
+
+SOURCE_DIRS = ("src", "bench", "examples", "tools")
+SOURCE_EXTS = (".cpp", ".hpp", ".h", ".cc")
+
+
+# ---------------------------------------------------------------------------
+# C++ text preparation
+# ---------------------------------------------------------------------------
+
+def strip_comments_and_strings(text: str) -> str:
+    """Blanks out comments and string/char literal contents, preserving the
+    line structure so reported line numbers match the original file."""
+    out = []
+    i, n = 0, len(text)
+    state = "code"  # code | line_comment | block_comment | string | char
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if state == "code":
+            if c == "/" and nxt == "/":
+                state = "line_comment"
+                out.append("  ")
+                i += 2
+                continue
+            if c == "/" and nxt == "*":
+                state = "block_comment"
+                out.append("  ")
+                i += 2
+                continue
+            if c == '"':
+                state = "string"
+                out.append('"')
+                i += 1
+                continue
+            if c == "'":
+                state = "char"
+                out.append("'")
+                i += 1
+                continue
+            out.append(c)
+        elif state == "line_comment":
+            if c == "\n":
+                state = "code"
+                out.append("\n")
+            else:
+                out.append(" ")
+        elif state == "block_comment":
+            if c == "*" and nxt == "/":
+                state = "code"
+                out.append("  ")
+                i += 2
+                continue
+            out.append("\n" if c == "\n" else " ")
+        elif state in ("string", "char"):
+            quote = '"' if state == "string" else "'"
+            if c == "\\":
+                out.append("  ")
+                i += 2
+                continue
+            if c == quote:
+                state = "code"
+                out.append(quote)
+            elif c == "\n":  # unterminated (macro tricks); recover
+                state = "code"
+                out.append("\n")
+            else:
+                out.append(" ")
+        i += 1
+    return "".join(out)
+
+
+def suppressed_lines(raw_lines: list[str]) -> dict[int, set[str]]:
+    """Line number (1-based) -> rules suppressed there.  An allow comment
+    covers its own line and the line after it."""
+    supp: dict[int, set[str]] = {}
+    for idx, line in enumerate(raw_lines, start=1):
+        for m in SUPPRESS_RE.finditer(line):
+            supp.setdefault(idx, set()).add(m.group(1))
+            supp.setdefault(idx + 1, set()).add(m.group(1))
+    return supp
+
+
+UNORDERED_DECL_RE = re.compile(
+    r"std::unordered_(?:map|set)<[^;{}()]*?>\s*\n?\s*(\w+)\s*(?:;|=|\{)",
+    re.DOTALL,
+)
+RANGE_FOR_RE = re.compile(r"for\s*\([^;()]*?:\s*(\w+)\s*\)")
+
+
+# ---------------------------------------------------------------------------
+# Scanning
+# ---------------------------------------------------------------------------
+
+def collect_unordered_names(stripped_by_path: dict[str, str]) -> set[str]:
+    names: set[str] = set()
+    for text in stripped_by_path.values():
+        for m in UNORDERED_DECL_RE.finditer(text):
+            names.add(m.group(1))
+    return names
+
+
+def scan_file(path: str, raw: str, stripped: str, unordered_names: set[str]):
+    """Yields (path, line, rule, snippet) findings."""
+    raw_lines = raw.splitlines()
+    supp = suppressed_lines(raw_lines)
+    stripped_lines = stripped.splitlines()
+
+    def allowed(rule: str, lineno: int) -> bool:
+        if (path, rule) in ALLOW:
+            return True
+        return rule in supp.get(lineno, set())
+
+    for rule, spec in RULES.items():
+        if not spec["applies"](path):
+            continue
+        if rule == "unordered-iter":
+            for lineno, line in enumerate(stripped_lines, start=1):
+                for m in RANGE_FOR_RE.finditer(line):
+                    if m.group(1) in unordered_names and not allowed(rule, lineno):
+                        yield (path, lineno, rule, line.strip())
+            continue
+        pattern = spec["pattern"]
+        for lineno, line in enumerate(stripped_lines, start=1):
+            if pattern.search(line) and not allowed(rule, lineno):
+                yield (path, lineno, rule, line.strip())
+
+
+def iter_sources(root: str):
+    for top in SOURCE_DIRS:
+        base = os.path.join(root, top)
+        if not os.path.isdir(base):
+            continue
+        for dirpath, dirnames, filenames in os.walk(base):
+            dirnames.sort()
+            for name in sorted(filenames):
+                if name.endswith(SOURCE_EXTS):
+                    full = os.path.join(dirpath, name)
+                    yield os.path.relpath(full, root).replace(os.sep, "/")
+
+
+def run_scan(root: str) -> int:
+    stripped_by_path: dict[str, str] = {}
+    raw_by_path: dict[str, str] = {}
+    for rel in iter_sources(root):
+        with open(os.path.join(root, rel), encoding="utf-8") as f:
+            raw = f.read()
+        raw_by_path[rel] = raw
+        stripped_by_path[rel] = strip_comments_and_strings(raw)
+
+    unordered_names = collect_unordered_names(
+        {p: t for p, t in stripped_by_path.items() if p.startswith("src/")})
+
+    findings = []
+    for rel, raw in raw_by_path.items():
+        findings.extend(
+            scan_file(rel, raw, stripped_by_path[rel], unordered_names))
+
+    for path, lineno, rule, snippet in findings:
+        print(f"{path}:{lineno}: [{rule}] {RULES[rule]['message']}")
+        print(f"    {snippet}")
+    if findings:
+        print(f"gridlint: {len(findings)} finding(s)")
+        return 1
+    print(f"gridlint: clean ({len(raw_by_path)} files)")
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# Self-test against the fixtures
+# ---------------------------------------------------------------------------
+
+def run_selftest(root: str) -> int:
+    fixture_dir = os.path.join(root, "tests", "lint_fixtures")
+    if not os.path.isdir(fixture_dir):
+        print(f"gridlint --selftest: missing {fixture_dir}", file=sys.stderr)
+        return 2
+    failures = []
+    checked = 0
+    seen_rules: set[str] = set()
+    for name in sorted(os.listdir(fixture_dir)):
+        if not name.endswith(SOURCE_EXTS):
+            continue
+        with open(os.path.join(fixture_dir, name), encoding="utf-8") as f:
+            raw = f.read()
+        header = FIXTURE_RE.match(raw)
+        if not header:
+            failures.append(f"{name}: missing '// gridlint-fixture:' header")
+            continue
+        pretend_path, expectation = header.group(1), header.group(2)
+        stripped = strip_comments_and_strings(raw)
+        names = collect_unordered_names({pretend_path: stripped})
+        fired = {rule for (_, _, rule, _) in
+                 scan_file(pretend_path, raw, stripped, names)}
+        expected = set() if expectation == "-" else set(expectation.split(","))
+        seen_rules.update(expected)
+        checked += 1
+        if fired != expected:
+            failures.append(
+                f"{name} (as {pretend_path}): expected {sorted(expected) or 'nothing'},"
+                f" got {sorted(fired) or 'nothing'}")
+    missing = set(RULES) - seen_rules
+    if missing:
+        failures.append(f"no fixture exercises rule(s): {sorted(missing)}")
+    for f in failures:
+        print(f"gridlint --selftest: FAIL {f}")
+    if failures:
+        return 1
+    print(f"gridlint --selftest: {checked} fixtures ok, all "
+          f"{len(RULES)} rules exercised")
+    return 0
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--root", default=".", help="repository root")
+    ap.add_argument("--selftest", action="store_true",
+                    help="verify each rule against tests/lint_fixtures/")
+    args = ap.parse_args()
+    root = os.path.abspath(args.root)
+    if args.selftest:
+        return run_selftest(root)
+    return run_scan(root)
+
+
+if __name__ == "__main__":
+    sys.exit(main())
