@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
-# Builds the Release bench preset, runs the engine and message-path
-# microbenches plus the retry ablation, and diffs each fresh BENCH_*.json
+# Builds the Release bench preset, runs the engine, message-path and
+# scheduler microbenches plus the retry ablation, and diffs each fresh
+# BENCH_*.json
 # against its committed baseline, warning when any throughput figure
 # regressed by more than 20%.
 #
@@ -27,6 +28,11 @@ echo
 echo "== bench/micro_net =="
 fresh_net_json="build-bench/BENCH_net.json"
 ./build-bench/bench/micro_net "$fresh_net_json" || status=1
+
+echo
+echo "== bench/micro_sched =="
+fresh_sched_json="build-bench/BENCH_sched.json"
+./build-bench/bench/micro_sched "$fresh_sched_json" || status=1
 
 echo
 echo "== bench/ablate_retry =="
@@ -79,5 +85,6 @@ PY
 
 diff_json BENCH_engine.json "$fresh_engine_json"
 diff_json BENCH_net.json "$fresh_net_json"
+diff_json BENCH_sched.json "$fresh_sched_json"
 
 exit $status

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "simkit/check.hpp"
+
 namespace grid::sched {
 
 std::int64_t QueueSnapshot::queued_work() const {
@@ -17,7 +19,8 @@ BatchScheduler::BatchScheduler(sim::Engine& engine, std::int32_t processors,
     : engine_(&engine),
       total_(processors),
       free_(processors),
-      backfill_(backfill) {}
+      backfill_(backfill),
+      profile_(processors) {}
 
 util::Status BatchScheduler::submit(const JobDescriptor& job, StartFn on_start,
                                     EndFn on_end) {
@@ -29,13 +32,12 @@ util::Status BatchScheduler::submit(const JobDescriptor& job, StartFn on_start,
             "job needs " + std::to_string(job.count) + " processors, machine has " +
                 std::to_string(total_)};
   }
-  if (running_.find(job.id) != nullptr) {
-    return {util::ErrorCode::kInvalidArgument, "duplicate job id"};
+  if (job.id == 0) {
+    return {util::ErrorCode::kInvalidArgument, "job id 0 is reserved"};
   }
-  for (const Queued& q : queue_) {
-    if (q.desc.id == job.id) {
-      return {util::ErrorCode::kInvalidArgument, "duplicate job id"};
-    }
+  if (running_.find(job.id) != nullptr ||
+      queued_ids_.find(job.id) != sim::IdMap::kNotFound) {
+    return {util::ErrorCode::kInvalidArgument, "duplicate job id"};
   }
   Queued q;
   q.desc = job;
@@ -44,42 +46,102 @@ util::Status BatchScheduler::submit(const JobDescriptor& job, StartFn on_start,
   q.submitted_at = engine_->now();
   q.queue_length_at_submit = static_cast<std::int32_t>(queue_.size());
   q.queued_work_at_submit = current_queued_work();
+  const bool was_blocked = !queue_.empty();
   queue_.push_back(std::move(q));
+  queued_ids_.insert(job.id, 1);
+  queued_work_ += static_cast<std::int64_t>(job.count) * job.estimated_runtime;
+  if (was_blocked && !scheduling_) {
+    // The head was already blocked and nothing freed processors since the
+    // last pass, so FCFS cannot start anything and only the new tail job
+    // is an undecided backfill candidate.
+    if (backfill_ == Backfill::kEasy) submit_fast_path();
+    return util::Status::ok();
+  }
   try_schedule();
   return util::Status::ok();
 }
 
-std::int64_t BatchScheduler::current_queued_work() const {
-  std::int64_t work = 0;
-  for (const Queued& q : queue_) {
-    work += static_cast<std::int64_t>(q.desc.count) * q.desc.estimated_runtime;
+void BatchScheduler::submit_fast_path() {
+  if (!cache_valid_) {
+    try_schedule();
+    return;
   }
-  // Remaining work of running jobs also delays newcomers.
+  // Validity check: recompute the shadow state from the profile.  If it
+  // matches what the last pass left behind, every previously rejected
+  // candidate is still rejected (the admission conditions only tightened),
+  // so only the new tail job needs a decision.  Any drift — an estimate
+  // expired, a backfilled job returned spare capacity early — falls back
+  // to the full pass, which recomputes everything exactly.
   const sim::Time now = engine_->now();
-  running_.for_each([&](JobId, const Running& r) {
-    const sim::Time end = estimated_end(r);
-    if (end == sim::kTimeNever || end <= now) return;
-    work += static_cast<std::int64_t>(r.desc.count) * (end - now);
-  });
-  return work;
+  const Queued& head = queue_.front();
+  const Profile::Fit fit = profile_.earliest_fit(now, head.desc.count);
+  const std::int32_t extra = fit.free - head.desc.count;
+  if (fit.at != cached_shadow_ || extra != cached_extra_) {
+    try_schedule();
+    return;
+  }
+  Queued& cand = queue_.back();
+  if (cand.desc.count > free_) return;
+  const sim::Time est = backfill_estimate(cand.desc);
+  const bool ends_before_shadow = cached_shadow_ != sim::kTimeNever &&
+                                  est > 0 && now + est <= cached_shadow_;
+  const bool within_extra = cand.desc.count <= cached_extra_;
+  if (!ends_before_shadow && !within_extra) return;
+  if (!ends_before_shadow) cached_extra_ -= cand.desc.count;
+  Queued q = std::move(cand);
+  queue_.pop_back();
+  // The admission continues the pass that cached the shadow state, so the
+  // start runs under the same re-entrancy discipline as a full pass: an
+  // end inside the start callback must not trigger a nested fresh pass.
+  scheduling_ = true;
+  const std::uint64_t gen = state_gen_;
+  const std::size_t stable_size = queue_.size();
+  start(std::move(q));
+  if (state_gen_ != gen || queue_.size() != stable_size) {
+    // The start callback ended, cancelled, or submitted jobs re-entrantly.
+    // Finish the pass the way the oracle would: rescan the whole queue
+    // under the still-frozen shadow state.
+    const std::int32_t final_extra =
+        backfill_scan(now, cached_shadow_, cached_extra_);
+    if (state_gen_ == gen) {
+      cached_extra_ = final_extra;  // only submits happened; cache holds
+    } else {
+      cache_valid_ = false;  // shadow may be stale; next submit rescans
+    }
+  }
+  scheduling_ = false;
 }
 
-sim::Time BatchScheduler::estimated_end(const Running& r) const {
-  if (r.desc.estimated_runtime > 0) {
-    return r.started_at + r.desc.estimated_runtime;
+std::int64_t BatchScheduler::current_queued_work() const {
+  // Queued work is maintained incrementally; the remaining work of running
+  // jobs (which also delays newcomers) is an integral over the profile,
+  // with never-ending occupancies excluded the way the seed scan skipped
+  // unknown estimated ends.
+  return queued_work_ +
+         profile_.busy_work_after(engine_->now(), unknown_busy_);
+}
+
+sim::Time BatchScheduler::estimated_end(const JobDescriptor& d,
+                                        sim::Time started) const {
+  sim::Time length = 0;
+  if (d.estimated_runtime > 0) {
+    length = d.estimated_runtime;
+  } else if (d.runtime > 0) {
+    length = d.runtime;
+  } else if (d.max_wall_time > 0) {
+    length = d.max_wall_time;
+  } else {
+    return sim::kTimeNever;
   }
-  if (r.desc.runtime > 0) {
-    return r.started_at + r.desc.runtime;
-  }
-  if (r.desc.max_wall_time > 0) {
-    return r.started_at + r.desc.max_wall_time;
-  }
-  return sim::kTimeNever;
+  if (length >= sim::kTimeNever - started) return sim::kTimeNever;
+  return started + length;
 }
 
 void BatchScheduler::try_schedule() {
   if (scheduling_) return;  // start callbacks may complete() synchronously
   scheduling_ = true;
+  cache_valid_ = false;
+  profile_.advance_to(engine_->now());
   for (;;) {
     // FCFS: start head jobs while they fit.
     if (!queue_.empty() && queue_.front().desc.count <= free_) {
@@ -91,66 +153,73 @@ void BatchScheduler::try_schedule() {
     break;
   }
   if (backfill_ == Backfill::kEasy && !queue_.empty()) {
-    // Compute the shadow time: the earliest instant the head job could
-    // start, assuming running jobs end at their estimated times.
-    const Queued& head = queue_.front();
-    std::vector<std::pair<sim::Time, std::int32_t>> ends;
-    ends.reserve(running_.size());
-    running_.for_each([&](JobId, const Running& r) {
-      ends.emplace_back(estimated_end(r), r.desc.count);
-    });
-    std::sort(ends.begin(), ends.end());
-    std::int32_t avail = free_;
-    sim::Time shadow = sim::kTimeNever;
-    std::int32_t extra = 0;
-    for (const auto& [end, count] : ends) {
-      avail += count;
-      if (avail >= head.desc.count) {
-        shadow = end;
-        extra = avail - head.desc.count;
-        break;
-      }
-    }
-    // Backfill later jobs that fit now and either end by the shadow time or
-    // use only the head job's spare processors.
+    // Shadow state: the earliest instant the head job could start assuming
+    // running jobs end at their estimated ends, and the processors it
+    // would leave spare then.  One profile query instead of sorting the
+    // running set.  Frozen for the whole pass (the EASY contract).
     const sim::Time now = engine_->now();
-    for (std::size_t i = 1; i < queue_.size();) {
-      Queued& cand = queue_[i];
-      if (cand.desc.count > free_) {
-        ++i;
-        continue;
-      }
-      const sim::Time est = cand.desc.estimated_runtime > 0
-                                ? cand.desc.estimated_runtime
-                                : cand.desc.runtime;
-      const bool ends_before_shadow =
-          shadow != sim::kTimeNever && est > 0 && now + est <= shadow;
-      const bool within_extra = cand.desc.count <= extra;
-      if (!ends_before_shadow && !within_extra) {
-        ++i;
-        continue;
-      }
-      if (!ends_before_shadow) extra -= cand.desc.count;
-      Queued q = std::move(cand);
-      queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(i));
-      start(std::move(q));
-      // Starting a job changed free_; restart the scan (indices shifted).
-      i = 1;
+    const std::int32_t head_count = queue_.front().desc.count;
+    const Profile::Fit fit = profile_.earliest_fit(now, head_count);
+    const sim::Time shadow = fit.at;
+    const std::uint64_t pass_gen = state_gen_;
+    const std::int32_t extra = backfill_scan(now, shadow, fit.free - head_count);
+    if (state_gen_ == pass_gen && !queue_.empty()) {
+      cache_valid_ = true;
+      cached_shadow_ = shadow;
+      cached_extra_ = extra;
     }
   }
   scheduling_ = false;
 }
 
+std::int32_t BatchScheduler::backfill_scan(sim::Time now, sim::Time shadow,
+                                           std::int32_t extra) {
+  // Backfill jobs behind the head that fit now and either end by the shadow
+  // time or use only the head job's spare processors.
+  for (std::size_t i = 1; i < queue_.size();) {
+    Queued& cand = queue_[i];
+    if (cand.desc.count > free_) {
+      ++i;
+      continue;
+    }
+    const sim::Time est = backfill_estimate(cand.desc);
+    const bool ends_before_shadow =
+        shadow != sim::kTimeNever && est > 0 && now + est <= shadow;
+    const bool within_extra = cand.desc.count <= extra;
+    if (!ends_before_shadow && !within_extra) {
+      ++i;
+      continue;
+    }
+    if (!ends_before_shadow) extra -= cand.desc.count;
+    Queued q = std::move(cand);
+    queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(i));
+    const std::uint64_t gen = state_gen_;
+    start(std::move(q));
+    // Starting a job only tightens the admission conditions, so the scan
+    // continues in place — unless the start callback ended or cancelled a
+    // job re-entrantly, where the oracle scan's restart-from-the-front
+    // behaviour is reproduced exactly.
+    if (state_gen_ != gen) i = 1;
+  }
+  return extra;
+}
+
 void BatchScheduler::start(Queued&& q) {
   free_ -= q.desc.count;
+  queued_work_ -=
+      static_cast<std::int64_t>(q.desc.count) * q.desc.estimated_runtime;
   Running r;
   r.desc = q.desc;
   r.on_end = std::move(q.on_end);
   r.started_at = engine_->now();
+  r.est_end = estimated_end(r.desc, r.started_at);
   const JobId id = q.desc.id;
+  queued_ids_.erase(id);
   history_.push_back(WaitObservation{q.submitted_at, r.started_at,
                                      q.desc.count, q.queue_length_at_submit,
                                      q.queued_work_at_submit});
+  profile_.reserve(r.started_at, r.est_end, r.desc.count);
+  if (r.est_end == sim::kTimeNever) unknown_busy_ += r.desc.count;
   Running& slot = running_.emplace(id, std::move(r));
   if (slot.desc.runtime > 0) {
     slot.runtime_event = engine_->schedule_after(
@@ -173,6 +242,15 @@ void BatchScheduler::end_running(JobId id, EndReason reason) {
   engine_->cancel(r.runtime_event);
   engine_->cancel(r.wall_event);
   free_ += r.desc.count;
+  ++state_gen_;
+  cache_valid_ = false;
+  const sim::Time now = engine_->now();
+  if (r.est_end > now) {
+    // Return the unused tail of the job's estimated occupancy; a job that
+    // ran past its estimate has no tail left to return.
+    profile_.release(now, r.est_end, r.desc.count);
+  }
+  if (r.est_end == sim::kTimeNever) unknown_busy_ -= r.desc.count;
   if (r.on_end) r.on_end(id, reason);
   try_schedule();
 }
@@ -182,14 +260,22 @@ void BatchScheduler::complete(JobId id) {
 }
 
 bool BatchScheduler::cancel(JobId id) {
-  for (auto it = queue_.begin(); it != queue_.end(); ++it) {
-    if (it->desc.id == id) {
-      Queued q = std::move(*it);
-      queue_.erase(it);
-      if (q.on_end) q.on_end(id, EndReason::kCancelled);
-      try_schedule();  // removing a stuck head job may unblock others
-      return true;
+  if (queued_ids_.find(id) != sim::IdMap::kNotFound) {
+    for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+      if (it->desc.id == id) {
+        Queued q = std::move(*it);
+        queue_.erase(it);
+        queued_ids_.erase(id);
+        queued_work_ -=
+            static_cast<std::int64_t>(q.desc.count) * q.desc.estimated_runtime;
+        ++state_gen_;          // an in-pass scan must not trust its indices
+        cache_valid_ = false;  // the head (and thus the shadow) may change
+        if (q.on_end) q.on_end(id, EndReason::kCancelled);
+        try_schedule();  // removing a stuck head job may unblock others
+        return true;
+      }
     }
+    GRID_CHECK(false, "queued_ids_ out of sync with the queue");
   }
   if (running_.find(id) != nullptr) {
     end_running(id, EndReason::kCancelled);

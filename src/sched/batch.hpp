@@ -4,10 +4,19 @@
 // queue waits dominate real co-allocation startup (paper §4.2's closing
 // remark) and whose unpredictability motivates the forecast and
 // reservation studies (§2.2, §5).
+//
+// Decisions are made against a time-indexed free-slot profile
+// (sched::Profile) instead of rescans of the queue and the running set,
+// so a submit into a 100k-deep queue costs O(log n) amortized rather than
+// O(n).  The decision *semantics* are the EASY contract spelled out in
+// DESIGN.md §5.4 and executable as sched::ReferenceBackfill
+// (reference.hpp); tests/sched_diff_test.cpp holds the two equal on
+// randomized workloads forever.
 #pragma once
 
 #include <deque>
 
+#include "sched/profile.hpp"
 #include "sched/scheduler.hpp"
 #include "simkit/idmap.hpp"
 
@@ -48,6 +57,9 @@ class BatchScheduler final : public LocalScheduler {
     return history_;
   }
 
+  /// The free-slot profile the backfill decisions read (tests/benches).
+  const Profile& profile() const { return profile_; }
+
  private:
   struct Queued {
     JobDescriptor desc;
@@ -61,16 +73,32 @@ class BatchScheduler final : public LocalScheduler {
     JobDescriptor desc;
     EndFn on_end;
     sim::Time started_at = 0;
+    sim::Time est_end = 0;  // profile occupancy end fixed at start time
     sim::EventId runtime_event;
     sim::EventId wall_event;
   };
 
+  /// Full scheduling pass: FCFS holds, then one EASY scan of the queue.
   void try_schedule();
+  /// The EASY scan under a frozen (shadow, extra): starts admissible
+  /// candidates, returns the remaining extra.  Restarts from the front
+  /// when a start callback ends a job re-entrantly (the seed scan shape).
+  std::int32_t backfill_scan(sim::Time now, sim::Time shadow,
+                             std::int32_t extra);
+  /// O(log n) fast path for a submit into an already-blocked queue; falls
+  /// back to try_schedule() when the cached shadow state is stale.
+  void submit_fast_path();
   void start(Queued&& q);
   void end_running(JobId id, EndReason reason);
-  /// Estimated completion time of a running job (kTimeNever when unknown).
-  sim::Time estimated_end(const Running& r) const;
+  /// Estimated completion if started at `started` (kTimeNever when
+  /// unknown); saturates instead of overflowing.
+  sim::Time estimated_end(const JobDescriptor& d, sim::Time started) const;
   std::int64_t current_queued_work() const;
+  /// Admission estimate for backfill: estimate else runtime (no wall
+  /// fallback — mirrors the seed scan and the reference oracle).
+  static sim::Time backfill_estimate(const JobDescriptor& d) {
+    return d.estimated_runtime > 0 ? d.estimated_runtime : d.runtime;
+  }
 
   sim::Engine* engine_;
   std::int32_t total_;
@@ -78,8 +106,18 @@ class BatchScheduler final : public LocalScheduler {
   Backfill backfill_;
   std::deque<Queued> queue_;
   sim::IdSlab<Running> running_;
+  sim::IdMap queued_ids_;  // queued job ids (duplicate/cancel lookups)
+  Profile profile_;        // future free processors from running jobs
+  std::int32_t unknown_busy_ = 0;  // running procs occupying to kTimeNever
+  std::int64_t queued_work_ = 0;   // sum of count*estimate over the queue
   std::vector<WaitObservation> history_;
   bool scheduling_ = false;  // re-entrancy guard for try_schedule
+  std::uint64_t state_gen_ = 0;  // bumped by end_running (re-entrant ends)
+  // Shadow state cached by the last full EASY pass that left the head
+  // blocked; lets a submit decide its own fate without rescanning.
+  bool cache_valid_ = false;
+  sim::Time cached_shadow_ = 0;
+  std::int32_t cached_extra_ = 0;
 };
 
 }  // namespace grid::sched

@@ -8,7 +8,8 @@ ReservationScheduler::ReservationScheduler(sim::Engine& engine,
                                            std::int32_t processors,
                                            sim::Time default_estimate)
     : engine_(&engine), total_(processors),
-      default_estimate_(default_estimate) {}
+      default_estimate_(default_estimate), res_(processors),
+      commit_(processors) {}
 
 sim::Time ReservationScheduler::job_estimate(const JobDescriptor& d) const {
   if (d.estimated_runtime > 0) return d.estimated_runtime;
@@ -17,41 +18,17 @@ sim::Time ReservationScheduler::job_estimate(const JobDescriptor& d) const {
   return default_estimate_;
 }
 
+sim::Time ReservationScheduler::horizon(sim::Time now, sim::Time length) const {
+  return length >= sim::kTimeNever - now ? sim::kTimeNever : now + length;
+}
+
 std::int32_t ReservationScheduler::reserved_at(sim::Time t) const {
+  // Public bookkeeping query, exact for any t including the past; the
+  // decision paths read the profiles instead.
   std::int32_t sum = 0;
   for (const Reservation& r : reservations_) {
     if (r.start <= t && t < r.end) sum += r.count;
   }
-  return sum;
-}
-
-std::int32_t ReservationScheduler::max_reserved_over(sim::Time from,
-                                                     sim::Time to,
-                                                     ReservationId skip) const {
-  // reserved_at is piecewise constant with breakpoints at window starts, so
-  // evaluating at `from` and at every start inside (from, to) is exact.
-  auto at = [&](sim::Time t) {
-    std::int32_t sum = 0;
-    for (const Reservation& r : reservations_) {
-      if (r.id != skip && r.start <= t && t < r.end) sum += r.count;
-    }
-    return sum;
-  };
-  std::int32_t best = at(from);
-  for (const Reservation& r : reservations_) {
-    if (r.id != skip && r.start > from && r.start < to) {
-      best = std::max(best, at(r.start));
-    }
-  }
-  return best;
-}
-
-std::int32_t ReservationScheduler::estimated_running_at(sim::Time t) const {
-  std::int32_t sum = 0;
-  running_.for_each([&](JobId, const Running& r) {
-    if (r.reservation != 0) return;  // accounted by its reservation window
-    if (r.started_at + job_estimate(r.desc) > t) sum += r.desc.count;
-  });
   return sum;
 }
 
@@ -70,18 +47,13 @@ util::Result<Reservation> ReservationScheduler::reserve(sim::Time start,
                             " processors on a " + std::to_string(total_) +
                             "-processor machine");
   }
-  // Admission: at every breakpoint in the window, existing reservations plus
-  // the estimated tail of running best-effort work plus this reservation
-  // must fit the machine.
-  std::vector<sim::Time> points{start};
-  for (const Reservation& r : reservations_) {
-    if (r.start > start && r.start < end) points.push_back(r.start);
-  }
-  for (sim::Time t : points) {
-    if (reserved_at(t) + estimated_running_at(t) + count > total_) {
-      return util::Status(util::ErrorCode::kResourceExhausted,
-                          "reservation window conflicts with existing load");
-    }
+  // Admission: everywhere in the window, existing reservations plus the
+  // estimated tail of running best-effort work plus this reservation must
+  // fit the machine.  The committed-load profile answers that as a single
+  // range minimum.
+  if (count > commit_.min_free_over(start, end)) {
+    return util::Status(util::ErrorCode::kResourceExhausted,
+                        "reservation window conflicts with existing load");
   }
   Reservation r;
   r.id = next_reservation_++;
@@ -89,7 +61,10 @@ util::Result<Reservation> ReservationScheduler::reserve(sim::Time start,
   r.end = end;
   r.count = count;
   reservations_.push_back(r);
-  // Window-start: start any bound jobs; window-end: reclaim and kill.
+  res_.reserve(start, end, count);
+  commit_.reserve(start, end, count);
+  // Window-start: start any bound jobs; window-end: reclaim and kill.  The
+  // profile occupancies simply elapse at window end — nothing to return.
   engine_->schedule_at(start, [this] { try_schedule(); });
   engine_->schedule_at(end, [this, rid = r.id] {
     std::vector<JobId> to_kill;
@@ -105,10 +80,17 @@ util::Result<Reservation> ReservationScheduler::reserve(sim::Time start,
 }
 
 bool ReservationScheduler::cancel_reservation(ReservationId id) {
-  const std::size_t before = reservations_.size();
-  std::erase_if(reservations_,
-                [id](const Reservation& r) { return r.id == id; });
-  if (reservations_.size() == before) return false;
+  const auto it =
+      std::find_if(reservations_.begin(), reservations_.end(),
+                   [id](const Reservation& r) { return r.id == id; });
+  if (it == reservations_.end()) return false;
+  // Return the un-elapsed remainder of the window to both profiles.
+  const sim::Time from = std::max(engine_->now(), it->start);
+  if (from < it->end) {
+    res_.release(from, it->end, it->count);
+    commit_.release(from, it->end, it->count);
+  }
+  reservations_.erase(it);
   try_schedule();
   return true;
 }
@@ -159,6 +141,8 @@ void ReservationScheduler::try_schedule() {
   if (scheduling_) return;
   scheduling_ = true;
   const sim::Time now = engine_->now();
+  res_.advance_to(now);
+  commit_.advance_to(now);
   bool progressed = true;
   while (progressed) {
     progressed = false;
@@ -190,17 +174,17 @@ void ReservationScheduler::try_schedule() {
     if (progressed) continue;
     // Pass 2: best-effort FCFS — only the first best-effort job is
     // considered, and only if it cannot collide with any admitted window.
+    // The peak reserved count over the job's estimated run is one range
+    // query on the windows-only profile.
     for (std::size_t i = 0; i < queue_.size(); ++i) {
       Queued& q = queue_[i];
       if (q.reservation != 0) continue;
-      std::int32_t busy_best = 0;
-      running_.for_each([&](JobId, const Running& r) {
-        if (r.reservation == 0) busy_best += r.desc.count;
-      });
       const sim::Time est = job_estimate(q.desc);
+      const sim::Time until = horizon(now, est);
       const std::int32_t reserved_peak =
-          max_reserved_over(now, now + est, /*skip=*/0);
-      if (busy_best + q.desc.count + reserved_peak <= total_) {
+          until > now ? total_ - res_.min_free_over(now, until)
+                      : total_ - res_.free_at(now);
+      if (busy_best_ + q.desc.count + reserved_peak <= total_) {
         Queued ready = std::move(q);
         queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(i));
         start(std::move(ready));
@@ -219,6 +203,13 @@ void ReservationScheduler::start(Queued&& q) {
   r.on_end = std::move(q.on_end);
   r.started_at = engine_->now();
   r.reservation = q.reservation;
+  if (q.reservation == 0) {
+    // A best-effort job commits its estimated tail so reservation
+    // admission sees it; reserved jobs are accounted by their window.
+    busy_best_ += q.desc.count;
+    r.est_end = horizon(r.started_at, job_estimate(r.desc));
+    commit_.reserve(r.started_at, r.est_end, r.desc.count);
+  }
   const JobId id = q.desc.id;
   Running& slot = running_.emplace(id, std::move(r));
   if (slot.desc.runtime > 0) {
@@ -242,6 +233,15 @@ void ReservationScheduler::end_running(JobId id, EndReason reason) {
   engine_->cancel(r.runtime_event);
   engine_->cancel(r.wall_event);
   busy_ -= r.desc.count;
+  if (r.reservation == 0) {
+    busy_best_ -= r.desc.count;
+    const sim::Time now = engine_->now();
+    if (r.est_end > now) {
+      // Return the unused committed tail; a job that ran past its
+      // estimate already elapsed out of the profile.
+      commit_.release(now, r.est_end, r.desc.count);
+    }
+  }
   if (r.on_end) r.on_end(id, reason);
   try_schedule();
 }

@@ -7,11 +7,24 @@
 // any admitted window (using runtime estimates).  This is the local-manager
 // capability the paper argues co-reservation ultimately requires; the
 // `ablate_reservation` bench quantifies the co-allocation benefit.
+//
+// Decisions read two sched::Profile free-slot structures instead of
+// rescanning the reservation list and the running set (the seed shape):
+//   - `res_` holds admitted windows only — the best-effort admission check
+//     reads the peak reserved count over a job's estimated run as one
+//     range query;
+//   - `commit_` additionally holds the estimated tails of running
+//     best-effort jobs — reservation admission reads the committed peak
+//     over the candidate window as one range query.
+// Both queries are exact rewrites of the seed scans: reserved-plus-running
+// load only steps up at window starts, so the seed's sampling at starts
+// and the profile's minimum over all breakpoints agree everywhere.
 #pragma once
 
 #include <deque>
 #include <vector>
 
+#include "sched/profile.hpp"
 #include "sched/scheduler.hpp"
 #include "simkit/idmap.hpp"
 
@@ -79,6 +92,7 @@ class ReservationScheduler final : public LocalScheduler {
     JobDescriptor desc;
     EndFn on_end;
     sim::Time started_at = 0;
+    sim::Time est_end = 0;  // commit-profile occupancy end (best-effort)
     ReservationId reservation = 0;
     sim::EventId runtime_event;
     sim::EventId wall_event;
@@ -88,18 +102,18 @@ class ReservationScheduler final : public LocalScheduler {
   void start(Queued&& q);
   void end_running(JobId id, EndReason reason);
   sim::Time job_estimate(const JobDescriptor& d) const;
-  /// Max of reserved_at over [from, to), excluding reservation `skip`.
-  std::int32_t max_reserved_over(sim::Time from, sim::Time to,
-                                 ReservationId skip) const;
-  /// Estimated best-effort + running-reserved processor usage at time t.
-  std::int32_t estimated_running_at(sim::Time t) const;
+  /// `now + length` saturated at the end of time.
+  sim::Time horizon(sim::Time now, sim::Time length) const;
 
   sim::Engine* engine_;
   std::int32_t total_;
-  std::int32_t busy_ = 0;  // all running jobs, reserved or not
+  std::int32_t busy_ = 0;       // all running jobs, reserved or not
+  std::int32_t busy_best_ = 0;  // running best-effort jobs only
   sim::Time default_estimate_;
   ReservationId next_reservation_ = 1;
   std::vector<Reservation> reservations_;
+  Profile res_;     // admitted windows
+  Profile commit_;  // admitted windows + estimated best-effort tails
   std::deque<Queued> queue_;
   sim::IdSlab<Running> running_;
   bool scheduling_ = false;

@@ -13,6 +13,7 @@
 
 #include "net/network.hpp"
 #include "net/rpc.hpp"
+#include "sched/profile.hpp"
 #include "simkit/bufpool.hpp"
 #include "simkit/check.hpp"
 #include "simkit/codec.hpp"
@@ -63,9 +64,24 @@ TEST(CheckedDeathTest, UniquePayloadMayStillMutate) {
   EXPECT_EQ(p.size(), 5u);
 }
 
+TEST(CheckedDeathTest, ProfileAbortsOnOversubscription) {
+  sched::Profile p(4);
+  p.reserve(0, 100, 3);
+  // Claiming 2 more where only 1 is free drives free below zero.
+  EXPECT_DEATH(p.reserve(50, 150, 2), "oversubscribed");
+}
+
+TEST(CheckedDeathTest, ProfileAbortsOnOverRelease) {
+  sched::Profile p(4);
+  p.reserve(0, 100, 2);
+  // Returning more than was claimed would push free past capacity.
+  EXPECT_DEATH(p.release(0, 100, 3), "release exceeds capacity");
+}
+
 // Positive coverage: a full simulation under GRID_CHECKED runs every
 // hot-path audit (engine heap self-check after cancel, slab consistency
-// on erase, endpoint teardown drain) without tripping any of them.
+// on erase, endpoint teardown drain, profile interval-list audit after
+// every scheduler mutation) without tripping any of them.
 TEST(CheckedClean, CancelHeavyWorkloadPassesHeapAudit) {
   sim::Engine e;
   std::vector<sim::EventId> ids;

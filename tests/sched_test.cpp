@@ -261,6 +261,84 @@ TEST(Backfill, FcfsNeverBackfills) {
   EXPECT_EQ(ev.started, (std::vector<JobId>{1}));
 }
 
+TEST(Backfill, ZeroEstimateJobsUseOnlySpareProcessors) {
+  sim::Engine e;
+  BatchScheduler s(e, 16, Backfill::kEasy);
+  Events ev;
+  // Job 1 blocks most of the machine; head job 2 will start at t=10 with
+  // exactly 1 spare processor (16 - 15).
+  s.submit(job(1, 4, 10 * sim::kSecond, 10 * sim::kSecond), ev.on_start(),
+           ev.on_end());
+  s.submit(job(2, 15, 10 * sim::kSecond, 10 * sim::kSecond), ev.on_start(),
+           ev.on_end());
+  // Jobs with no runtime and no estimate could run forever: they may never
+  // be admitted on "ends before the shadow" grounds, only into the spare
+  // set.  Job 3 (2 procs) exceeds the single spare; job 4 (1 proc) fits.
+  s.submit(job(3, 2), ev.on_start(), ev.on_end());
+  s.submit(job(4, 1), ev.on_start(), ev.on_end());
+  EXPECT_EQ(ev.started, (std::vector<JobId>{1, 4}));
+  e.run();
+  // The forever-running spare job never delays the head: job 2 starts the
+  // moment job 1 ends, and job 3 finally runs FCFS once job 2 finishes.
+  EXPECT_EQ(ev.started, (std::vector<JobId>{1, 4, 2, 3}));
+  ASSERT_EQ(s.wait_history().size(), 4u);
+  EXPECT_EQ(s.wait_history()[2].started_at, 10 * sim::kSecond);
+  EXPECT_EQ(s.wait_history()[3].started_at, 20 * sim::kSecond);
+  EXPECT_TRUE(s.profile().invariants_ok());
+}
+
+TEST(Backfill, ExpiredEstimateMakesShadowImmediate) {
+  sim::Engine e;
+  BatchScheduler s(e, 10, Backfill::kEasy);
+  Events ev;
+  // Job 1 underestimates badly: claims 5 s, actually runs 20 s.
+  s.submit(job(1, 4, 20 * sim::kSecond, 5 * sim::kSecond), ev.on_start(),
+           ev.on_end());
+  s.submit(job(2, 10, 5 * sim::kSecond, 5 * sim::kSecond), ev.on_start(),
+           ev.on_end());
+  // Before the estimate expires, a short job backfills normally.
+  s.submit(job(3, 2, 4 * sim::kSecond, 4 * sim::kSecond), ev.on_start(),
+           ev.on_end());
+  EXPECT_EQ(ev.started, (std::vector<JobId>{1, 3}));
+  // After t=5 job 1's estimate has expired: by the estimates the head
+  // could start *now*, so nothing may be admitted ahead of it — even a
+  // 1-processor job that fits the idle capacity.
+  e.schedule_at(6 * sim::kSecond, [&] {
+    s.submit(job(4, 1, sim::kSecond, sim::kSecond), ev.on_start(),
+             ev.on_end());
+  });
+  e.run();
+  // Order: job 2 starts when job 1 really ends (t=20), job 4 after job 2.
+  EXPECT_EQ(ev.started, (std::vector<JobId>{1, 3, 2, 4}));
+  ASSERT_EQ(s.wait_history().size(), 4u);
+  EXPECT_EQ(s.wait_history()[2].started_at, 20 * sim::kSecond);
+  EXPECT_EQ(s.wait_history()[3].started_at, 25 * sim::kSecond);
+}
+
+TEST(Backfill, CancelHeadWhileBackfillHoldsRun) {
+  sim::Engine e;
+  BatchScheduler s(e, 10, Backfill::kEasy);
+  Events ev;
+  s.submit(job(1, 8, 10 * sim::kSecond, 10 * sim::kSecond), ev.on_start(),
+           ev.on_end());
+  s.submit(job(2, 10, 10 * sim::kSecond, 10 * sim::kSecond), ev.on_start(),
+           ev.on_end());
+  s.submit(job(3, 2, 5 * sim::kSecond, 5 * sim::kSecond), ev.on_start(),
+           ev.on_end());  // backfills beside job 1
+  s.submit(job(4, 4, 20 * sim::kSecond, 20 * sim::kSecond), ev.on_start(),
+           ev.on_end());  // too long and too wide to backfill
+  EXPECT_EQ(ev.started, (std::vector<JobId>{1, 3}));
+  // Cancel the blocked head while the backfilled hold is still running.
+  e.schedule_at(2 * sim::kSecond, [&] { EXPECT_TRUE(s.cancel(2)); });
+  e.run();
+  // Job 4 becomes the head; it fits only once job 1 ends at t=10.
+  EXPECT_EQ(ev.started, (std::vector<JobId>{1, 3, 4}));
+  ASSERT_EQ(ev.ended.size(), 4u);
+  EXPECT_EQ(ev.ended[0], (std::pair<JobId, EndReason>{2, EndReason::kCancelled}));
+  ASSERT_EQ(s.wait_history().size(), 3u);
+  EXPECT_EQ(s.wait_history()[2].started_at, 10 * sim::kSecond);
+}
+
 /// Property: under EASY backfill, the head job never starts later than it
 /// would under pure FCFS with the same (deterministic) workload.
 class BackfillProperty : public ::testing::TestWithParam<std::uint64_t> {};
@@ -412,6 +490,39 @@ TEST(ReservationScheduler, CancelReservationFreesWindow) {
            [&](JobId) { started_at = e.now(); }, ev.on_end());
   e.run();
   EXPECT_EQ(started_at, 0);
+}
+
+TEST(ReservationScheduler, BestEffortBackfillsBesideActiveWindow) {
+  sim::Engine e;
+  ReservationScheduler s(e, 16);
+  std::vector<std::pair<JobId, sim::Time>> starts;
+  auto record = [&](JobId id) { starts.emplace_back(id, e.now()); };
+  Events ev;
+  auto r = s.reserve(10 * sim::kSecond, 20 * sim::kSecond, 8);
+  ASSERT_TRUE(r.is_ok());
+  ASSERT_TRUE(s.submit_reserved(job(100, 8, 5 * sim::kSecond,
+                                    5 * sim::kSecond),
+                                r.value().id, record, ev.on_end())
+                  .is_ok());
+  // While the window is ACTIVE: an 8-processor best-effort job fits in
+  // the unreserved half and starts immediately...
+  e.schedule_at(12 * sim::kSecond, [&] {
+    s.submit(job(200, 8, 6 * sim::kSecond, 6 * sim::kSecond), record,
+             ev.on_end());
+  });
+  // ...while a 9-processor one would collide with the window and must
+  // wait for the window to close, even after processors free up at t=18.
+  e.schedule_at(13 * sim::kSecond, [&] {
+    s.submit(job(201, 9, 5 * sim::kSecond, 5 * sim::kSecond), record,
+             ev.on_end());
+  });
+  e.run();
+  const std::vector<std::pair<JobId, sim::Time>> want{
+      {100, 10 * sim::kSecond},  // bound job at window open
+      {200, 12 * sim::kSecond},  // beside the active window
+      {201, 20 * sim::kSecond},  // only after the window closes
+  };
+  EXPECT_EQ(starts, want);
 }
 
 TEST(ReservationScheduler, AdmissionConsidersRunningWork) {
