@@ -24,6 +24,7 @@
 #include <memory>
 #include <queue>
 #include <string>
+#include <thread>
 #include <unordered_map>
 #include <vector>
 
@@ -271,6 +272,7 @@ struct EnsembleResult {
   double serial_s = 0;
   double parallel_s = 0;
   unsigned workers = 0;
+  unsigned hw_threads = 0;
   bool identical = false;
 };
 
@@ -285,6 +287,7 @@ EnsembleResult bench_ensemble(int trials) {
   r.serial_s = seconds_since(t0);
   sim::TrialPool pool;
   r.workers = pool.workers();
+  r.hw_threads = std::thread::hardware_concurrency();
   t0 = std::chrono::steady_clock::now();
   const std::vector<std::uint64_t> parallel = pool.map<std::uint64_t>(
       static_cast<std::size_t>(trials), [](std::size_t i) {
@@ -330,16 +333,18 @@ int main(int argc, char** argv) {
   testbed::print_table(table);
 
   testbed::print_heading("Trial ensemble: serial loop vs TrialPool");
-  const EnsembleResult ens = bench_ensemble(64);
+  const EnsembleResult ens = bench_ensemble(256);
   const double ens_speedup =
       ens.parallel_s > 0 ? ens.serial_s / ens.parallel_s : 0;
-  testbed::Table etable({"workers", "serial_s", "parallel_s", "speedup",
-                         "byte_identical"});
-  etable.add_row({testbed::Table::num(static_cast<std::int64_t>(ens.workers)),
-                  testbed::Table::num(ens.serial_s, 3),
-                  testbed::Table::num(ens.parallel_s, 3),
-                  testbed::Table::num(ens_speedup, 2) + "x",
-                  ens.identical ? "yes" : "NO"});
+  testbed::Table etable({"hw_threads", "workers", "serial_s", "parallel_s",
+                         "speedup", "byte_identical"});
+  etable.add_row(
+      {testbed::Table::num(static_cast<std::int64_t>(ens.hw_threads)),
+       testbed::Table::num(static_cast<std::int64_t>(ens.workers)),
+       testbed::Table::num(ens.serial_s, 3),
+       testbed::Table::num(ens.parallel_s, 3),
+       testbed::Table::num(ens_speedup, 2) + "x",
+       ens.identical ? "yes" : "NO"});
   testbed::print_table(etable);
 
   std::FILE* f = std::fopen(out_path, "w");
@@ -359,6 +364,7 @@ int main(int argc, char** argv) {
                  "    }\n"
                  "  },\n"
                  "  \"trial_ensemble\": {\n"
+                 "    \"hw_threads\": %u,\n"
                  "    \"workers\": %u,\n"
                  "    \"serial_s\": %.3f,\n"
                  "    \"parallel_s\": %.3f,\n"
@@ -367,18 +373,26 @@ int main(int argc, char** argv) {
                  "  }\n"
                  "}\n",
                  new_fire / 1e6, new_cancel / 1e6, new_churn / 1e6, s_fire,
-                 s_cancel, s_churn, s_geomean, ens.workers, ens.serial_s,
-                 ens.parallel_s, ens_speedup, ens.identical ? "true" : "false");
+                 s_cancel, s_churn, s_geomean, ens.hw_threads, ens.workers,
+                 ens.serial_s, ens.parallel_s, ens_speedup,
+                 ens.identical ? "true" : "false");
     std::fclose(f);
     std::printf("\nwrote %s\n", out_path);
   }
 
-  // On a single hardware thread the ensemble can't speed up, so the gate
-  // is determinism there; the engine gate is the tentpole's >=3x claim.
-  const bool ok = s_geomean >= 3.0 && ens.identical;
+  // Ensemble gate: with real parallel hardware (>=4 workers) the pool must
+  // scale >=2x; on fewer workers — e.g. a single-CPU CI box, where a
+  // wall-clock speedup is physically impossible — it must at least not
+  // pessimize the sweep (single-worker pools run inline), and in every
+  // case the parallel results must be byte-identical to the serial loop.
+  const double ens_want = ens.workers >= 4 ? 2.0 : 0.85;
+  const bool ens_ok = ens.identical && ens_speedup >= ens_want;
+  const bool ok = s_geomean >= 3.0 && ens_ok;
   std::printf(
-      "\nshape check: engine core >=3x over the seed engine (geomean %.2fx)\n"
-      "and parallel ensemble byte-identical to serial: %s\n",
-      s_geomean, ok ? "HOLDS" : "VIOLATED");
+      "\nshape check: engine core >=3x over the seed engine (geomean %.2fx),\n"
+      "ensemble speedup %.2fx >= %.2fx at %u worker(s) on %u hardware "
+      "thread(s),\nand parallel ensemble byte-identical to serial: %s\n",
+      s_geomean, ens_speedup, ens_want, ens.workers, ens.hw_threads,
+      ok ? "HOLDS" : "VIOLATED");
   return ok ? 0 : 1;
 }

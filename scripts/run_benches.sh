@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
 # Builds the Release bench preset, runs the engine, message-path and
-# scheduler microbenches plus the retry ablation, and diffs each fresh
+# scheduler microbenches, the grid-at-scale workload, and the retry
+# ablation, and diffs each fresh
 # BENCH_*.json
 # against its committed baseline, warning when any throughput figure
 # regressed by more than 20%.
@@ -35,6 +36,11 @@ fresh_sched_json="build-bench/BENCH_sched.json"
 ./build-bench/bench/micro_sched "$fresh_sched_json" || status=1
 
 echo
+echo "== bench/app_grid_scale =="
+fresh_scale_json="build-bench/BENCH_scale.json"
+./build-bench/bench/app_grid_scale "$fresh_scale_json" || status=1
+
+echo
 echo "== bench/ablate_retry =="
 ./build-bench/bench/ablate_retry || status=1
 
@@ -66,8 +72,9 @@ walk("", base, fresh, rows)
 worst = 0
 for name, bv, fv in rows:
     # Throughput-style fields: smaller is worse.  Skip wall-clock seconds,
-    # where smaller is better and trial counts make them machine-relative.
-    if name.endswith("_s") or name.endswith("workers"):
+    # per-query microseconds, memory footprints and machine shape, where
+    # smaller is better or the value is machine-relative.
+    if name.endswith(("_s", "workers", "_us", "_mb", "threads")):
         continue
     delta = (fv - bv) / bv
     flag = ""
@@ -86,5 +93,6 @@ PY
 diff_json BENCH_engine.json "$fresh_engine_json"
 diff_json BENCH_net.json "$fresh_net_json"
 diff_json BENCH_sched.json "$fresh_sched_json"
+diff_json BENCH_scale.json "$fresh_scale_json"
 
 exit $status

@@ -71,23 +71,16 @@ void EnsembleMonitor::emit(GlobalEvent event) {
 EnsembleMonitor::Summary EnsembleMonitor::summary() const {
   Summary s;
   if (request_ == nullptr) return s;
+  // The request maintains the aggregate incrementally, so building the
+  // collective view is O(1) — observe() calls this on every subjob event,
+  // which used to make ensemble monitoring O(n²) in subjob count.
   s.request_state = request_->state();
-  for (SubjobHandle h : request_->subjobs()) {
-    auto view = request_->subjob(h);
-    if (!view.is_ok()) continue;
-    const SubjobView& v = view.value();
-    ++s.by_state[static_cast<std::size_t>(v.state)];
-    if (v.state == SubjobState::kFailed) ++s.failures;
-    if (v.state != SubjobState::kFailed &&
-        v.state != SubjobState::kDeleted) {
-      ++s.live_subjobs;
-      s.live_processes += v.count;
-      if (v.state == SubjobState::kReleased ||
-          v.state == SubjobState::kDone) {
-        s.released_processes += v.count;
-      }
-    }
-  }
+  const CoallocationRequest::SubjobAggregate& a = request_->aggregate();
+  s.by_state = a.by_state;
+  s.live_subjobs = a.live_subjobs;
+  s.live_processes = a.live_processes;
+  s.released_processes = a.released_processes;
+  s.failures = a.count(SubjobState::kFailed);
   return s;
 }
 
@@ -140,10 +133,10 @@ void HeartbeatDetector::tick() {
     stop();
     return;
   }
-  for (SubjobHandle h : req->subjobs()) {
-    auto view = req->subjob(h);
-    if (!view.is_ok()) continue;
-    const SubjobView& v = view.value();
+  for (SubjobHandle h : req->subjob_order()) {
+    auto brief = req->subjob_brief(h);
+    if (!brief.is_ok()) continue;
+    const CoallocationRequest::SubjobBrief& v = brief.value();
     const bool watchable =
         v.gram_job != 0 && v.gatekeeper != net::kInvalidNode &&
         (v.state == SubjobState::kPending || v.state == SubjobState::kActive ||

@@ -68,7 +68,7 @@ util::Result<SubjobHandle> CoallocationRequest::add_subjob(
   sj.handle = handle;
   sj.request = std::move(request);
   order_.push_back(handle);
-  slots_.emplace(handle, std::move(sj));
+  agg_add(slots_.emplace(handle, std::move(sj)));
   if (started_) enqueue_submission(handle);
   return handle;
 }
@@ -99,7 +99,7 @@ util::Status CoallocationRequest::remove_subjob(SubjobHandle handle) {
   owner_->engine().cancel(sj->probe_event);
   cancel_gram_job(*sj);
   abort_subjob_processes(*sj, "subjob removed from request");
-  sj->state = SubjobState::kDeleted;
+  set_state(*sj, SubjobState::kDeleted);
   notify_subjob(*sj);
   return util::Status::ok();
 }
@@ -118,9 +118,11 @@ util::Status CoallocationRequest::substitute_subjob(SubjobHandle handle,
   owner_->engine().cancel(sj->probe_event);
   cancel_gram_job(*sj);
   abort_subjob_processes(*sj, "subjob substituted");
+  agg_remove(*sj);
   ++sj->incarnation;
   sj->request = std::move(request);
   sj->state = SubjobState::kUnsubmitted;
+  agg_add(*sj);
   sj->gram_job = 0;
   sj->gatekeeper = net::kInvalidNode;
   sj->process_nodes.clear();
@@ -186,7 +188,7 @@ void CoallocationRequest::pump_submissions() {
       continue;
     }
     sj->gatekeeper = gatekeeper.value();
-    sj->state = SubjobState::kSubmitting;
+    set_state(*sj, SubjobState::kSubmitting);
     sj->submitted_at = owner_->engine().now();
     arm_timeout(*sj);
     rsl::JobRequest to_send = sj->request;
@@ -242,7 +244,7 @@ void CoallocationRequest::on_accepted(SubjobHandle handle,
   }
   sj->gram_job = result.value();
   sj->accepted_at = owner_->engine().now();
-  sj->state = SubjobState::kPending;
+  set_state(*sj, SubjobState::kPending);
   if (config_.serialize_until_checkin) hold_handle_ = handle;
   arm_liveness_probe(*sj);
   notify_subjob(*sj);
@@ -265,7 +267,7 @@ void CoallocationRequest::on_gram_state(SubjobHandle handle,
   switch (change.state) {
     case gram::JobState::kActive:
       if (sj->state == SubjobState::kPending) {
-        sj->state = SubjobState::kActive;
+        set_state(*sj, SubjobState::kActive);
         sj->active_at = owner_->engine().now();
         notify_subjob(*sj);
       }
@@ -279,7 +281,7 @@ void CoallocationRequest::on_gram_state(SubjobHandle handle,
       if (sj->state == SubjobState::kReleased) {
         // Post-release failure: a monitoring event, not (by default) fatal
         // to the ensemble (§3.4).
-        sj->state = SubjobState::kFailed;
+        set_state(*sj, SubjobState::kFailed);
         sj->failure = why;
         notify_subjob(*sj);
         if (config_.abort_on_post_release_failure) {
@@ -294,7 +296,7 @@ void CoallocationRequest::on_gram_state(SubjobHandle handle,
     }
     case gram::JobState::kDone:
       if (sj->state == SubjobState::kReleased) {
-        sj->state = SubjobState::kDone;
+        set_state(*sj, SubjobState::kDone);
         notify_subjob(*sj);
         maybe_done();
       } else if (!is_subjob_terminal(sj->state)) {
@@ -358,7 +360,7 @@ void CoallocationRequest::on_checkin(net::NodeId src,
   sj->process_nodes[rank] = src;
   ++sj->checked_count;
   if (sj->checked_count == sj->request.count) {
-    sj->state = SubjobState::kCheckedIn;
+    set_state(*sj, SubjobState::kCheckedIn);
     sj->checked_in_at = owner_->engine().now();
     owner_->engine().cancel(sj->timeout_event);
     owner_->engine().cancel(sj->probe_event);
@@ -414,7 +416,7 @@ void CoallocationRequest::maybe_release() {
   for (SubjobHandle h : order_) {
     Subjob* sj = find(h);
     if (sj == nullptr || sj->state != SubjobState::kCheckedIn) continue;
-    sj->state = SubjobState::kReleased;
+    set_state(*sj, SubjobState::kReleased);
     sj->released = true;
     sj->released_at = owner_->engine().now();
     for (std::int32_t rank = 0; rank < sj->request.count; ++rank) {
@@ -437,7 +439,7 @@ void CoallocationRequest::release_subjob(Subjob& sj) {
   layout.contact = sj.request.resource_manager_contact;
   config_table_.total_processes += sj.request.count;
   config_table_.subjobs.push_back(std::move(layout));
-  sj.state = SubjobState::kReleased;
+  set_state(sj, SubjobState::kReleased);
   sj.released = true;
   sj.released_at = owner_->engine().now();
   for (std::int32_t rank = 0; rank < sj.request.count; ++rank) {
@@ -583,7 +585,7 @@ void CoallocationRequest::fail_subjob(SubjobHandle handle, util::Status why) {
   owner_->engine().cancel(sj->probe_event);
   cancel_gram_job(*sj);
   abort_subjob_processes(*sj, "subjob failed: " + why.message());
-  sj->state = SubjobState::kFailed;
+  set_state(*sj, SubjobState::kFailed);
   sj->failure = why;
   if (hold_handle_ == handle) {
     hold_handle_ = 0;
@@ -634,7 +636,7 @@ void CoallocationRequest::abort(const std::string& reason) {
     abort_subjob_processes(*sj, reason);
     if (sj->state != SubjobState::kFailed &&
         sj->state != SubjobState::kDone) {
-      sj->state = SubjobState::kFailed;
+      set_state(*sj, SubjobState::kFailed);
       sj->failure = util::Status(util::ErrorCode::kAborted, reason);
       notify_subjob(*sj);
     }
@@ -679,6 +681,51 @@ void CoallocationRequest::notify_subjob(const Subjob& sj) {
 
 std::vector<SubjobHandle> CoallocationRequest::subjobs() const {
   return order_;
+}
+
+void CoallocationRequest::agg_add(const Subjob& sj) {
+  ++agg_.by_state[static_cast<std::size_t>(sj.state)];
+  if (sj.state != SubjobState::kFailed && sj.state != SubjobState::kDeleted) {
+    ++agg_.live_subjobs;
+    agg_.live_processes += sj.request.count;
+    if (sj.state == SubjobState::kReleased ||
+        sj.state == SubjobState::kDone) {
+      agg_.released_processes += sj.request.count;
+    }
+  }
+}
+
+void CoallocationRequest::agg_remove(const Subjob& sj) {
+  --agg_.by_state[static_cast<std::size_t>(sj.state)];
+  if (sj.state != SubjobState::kFailed && sj.state != SubjobState::kDeleted) {
+    --agg_.live_subjobs;
+    agg_.live_processes -= sj.request.count;
+    if (sj.state == SubjobState::kReleased ||
+        sj.state == SubjobState::kDone) {
+      agg_.released_processes -= sj.request.count;
+    }
+  }
+}
+
+void CoallocationRequest::set_state(Subjob& sj, SubjobState to) {
+  agg_remove(sj);
+  sj.state = to;
+  agg_add(sj);
+}
+
+util::Result<CoallocationRequest::SubjobBrief>
+CoallocationRequest::subjob_brief(SubjobHandle handle) const {
+  const Subjob* sj = find(handle);
+  if (sj == nullptr) {
+    return util::small_status(util::ErrorCode::kNotFound, "unknown subjob");
+  }
+  SubjobBrief b;
+  b.state = sj->state;
+  b.start_type = sj->request.start_type;
+  b.count = sj->request.count;
+  b.gram_job = sj->gram_job;
+  b.gatekeeper = sj->gatekeeper;
+  return b;
 }
 
 util::Result<SubjobView> CoallocationRequest::subjob(

@@ -27,6 +27,7 @@
 // "all subjobs required, commit immediately, no edits" (core/grab.hpp).
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <deque>
 #include <functional>
@@ -161,7 +162,35 @@ class CoallocationRequest {
 
   // ---- monitoring (§3.4) --------------------------------------------------
 
+  /// Aggregate over all subjob slots, maintained incrementally at every
+  /// transition — reading it is O(1) no matter how many subjobs the
+  /// request carries, so per-event monitors stay off the O(n²) cliff.
+  struct SubjobAggregate {
+    std::array<std::size_t, 9> by_state{};  // indexed by SubjobState
+    std::size_t live_subjobs = 0;           // not failed, not deleted
+    std::int32_t live_processes = 0;
+    std::int32_t released_processes = 0;  // live and released or done
+
+    std::size_t count(SubjobState s) const {
+      return by_state[static_cast<std::size_t>(s)];
+    }
+  };
+
+  /// Cheap fixed-size view of one subjob slot: everything periodic
+  /// monitors (heartbeats, summaries) need, with no string copies.
+  struct SubjobBrief {
+    SubjobState state = SubjobState::kUnsubmitted;
+    rsl::SubjobStartType start_type = rsl::SubjobStartType::kRequired;
+    std::int32_t count = 0;
+    gram::JobId gram_job = 0;
+    net::NodeId gatekeeper = net::kInvalidNode;
+  };
+
   std::vector<SubjobHandle> subjobs() const;
+  /// Insertion-order slot handles without the copy subjobs() makes.
+  const std::vector<SubjobHandle>& subjob_order() const { return order_; }
+  const SubjobAggregate& aggregate() const { return agg_; }
+  util::Result<SubjobBrief> subjob_brief(SubjobHandle handle) const;
   util::Result<SubjobView> subjob(SubjobHandle handle) const;
   /// The full specification currently bound to a slot (agents use this to
   /// build substitutes from the failed subjob's shape).
@@ -231,6 +260,10 @@ class CoallocationRequest {
   void finish(util::Status status);
 
   void notify_subjob(const Subjob& sj);
+  /// All slot-state transitions go through here so `agg_` stays exact.
+  void set_state(Subjob& sj, SubjobState to);
+  void agg_add(const Subjob& sj);
+  void agg_remove(const Subjob& sj);
   Subjob* find(SubjobHandle handle);
   const Subjob* find(SubjobHandle handle) const;
   bool is_live(const Subjob& sj) const {
@@ -251,6 +284,7 @@ class CoallocationRequest {
   std::deque<SubjobHandle> submit_queue_;
   std::vector<SubjobHandle> order_;  // insertion order of slots
   sim::IdSlab<Subjob> slots_;
+  SubjobAggregate agg_;
   SubjobHandle next_handle_ = 1;
   RuntimeConfig config_table_;
   sim::Time released_at_ = -1;

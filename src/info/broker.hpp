@@ -42,6 +42,14 @@ class ResourceBroker {
   void select(std::vector<std::string> candidates, std::size_t k,
               std::int32_t count, sim::Time timeout, SelectFn on_done);
 
+  /// Same ranking via aggregate-only summary queries: replies are O(1)
+  /// regardless of queue depth, and both stock predictors produce results
+  /// identical to select().  This is the path sustained co-allocation
+  /// traffic uses at scale.
+  void select_by_summary(std::vector<std::string> candidates, std::size_t k,
+                         std::int32_t count, sim::Time timeout,
+                         SelectFn on_done);
+
   /// Builds one subjob request per placement.
   static std::vector<rsl::JobRequest> build_requests(
       const std::vector<Placement>& placements, std::int32_t count,

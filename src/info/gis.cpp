@@ -34,6 +34,24 @@ sched::QueueSnapshot decode_snapshot(util::Reader& r) {
   return snap;
 }
 
+void encode_summary(util::Writer& w, const sched::QueueSummary& summary) {
+  w.i64(summary.taken_at);
+  w.i32(summary.total_processors);
+  w.i32(summary.busy_processors);
+  w.u32(summary.queue_length);
+  w.i64(summary.queued_work);
+}
+
+sched::QueueSummary decode_summary(util::Reader& r) {
+  sched::QueueSummary s;
+  s.taken_at = r.i64();
+  s.total_processors = r.i32();
+  s.busy_processors = r.i32();
+  s.queue_length = r.u32();
+  s.queued_work = r.i64();
+  return s;
+}
+
 GisServer::GisServer(net::Network& network,
                      sched::LoadInformationService& service,
                      sim::Time query_cost)
@@ -47,6 +65,11 @@ GisServer::GisServer(net::Network& network,
       kMethodListContacts,
       [this](net::NodeId caller, std::uint64_t call_id, util::Reader& args) {
         handle_list(caller, call_id, args);
+      });
+  endpoint_.register_method(
+      kMethodQuerySummary,
+      [this](net::NodeId caller, std::uint64_t call_id, util::Reader& args) {
+        handle_query_summary(caller, call_id, args);
       });
 }
 
@@ -62,19 +85,63 @@ void GisServer::handle_query(net::NodeId caller, std::uint64_t call_id,
                             "malformed query");
     return;
   }
-  endpoint_.engine().schedule_after(
-      query_cost_, [this, caller, call_id, contact = std::move(contact)] {
-        ++served_;
-        auto snap = service_->query(contact);
-        if (!snap.is_ok()) {
-          endpoint_.respond_error(caller, call_id, snap.status().code(),
-                                  snap.status().message());
-          return;
-        }
-        util::Writer w;
-        encode_snapshot(w, snap.value());
-        endpoint_.respond(caller, call_id, w.take());
-      });
+  // Resolve the contact to its interned id at arrival; the deferred service
+  // body then runs string-free (registration changes while the query is in
+  // flight are re-checked against the id at service time).
+  const auto id = service_->resolve(contact);
+  endpoint_.engine().schedule_after(query_cost_, [this, caller, call_id, id] {
+    serve_query(caller, call_id, id);
+  });
+}
+
+void GisServer::serve_query(net::NodeId caller, std::uint64_t call_id,
+                            sched::LoadInformationService::ContactId id) {
+  ++served_;
+  const std::uint64_t version = service_->published_version(id);
+  if (cache_enabled_ && version != 0 && id <= cache_.size() &&
+      cache_[id - 1].version == version) {
+    ++cache_stats_.hits;
+    endpoint_.respond(caller, call_id, cache_[id - 1].frame.share());
+    return;
+  }
+  auto snap = service_->snapshot_ref(id);
+  if (!snap.is_ok()) {
+    endpoint_.respond_error(caller, call_id, snap.status().code(),
+                            snap.status().message());
+    return;
+  }
+  ++cache_stats_.misses;
+  util::Writer w;
+  encode_snapshot(w, *snap.value());
+  sim::Payload reply = w.take();
+  if (cache_enabled_ && version != 0) {
+    if (cache_.size() < id) cache_.resize(id);
+    cache_[id - 1] = CachedReply{version, reply.share()};
+  }
+  endpoint_.respond(caller, call_id, std::move(reply));
+}
+
+void GisServer::handle_query_summary(net::NodeId caller, std::uint64_t call_id,
+                                     util::Reader& args) {
+  std::string contact = args.str();
+  if (!args.ok()) {
+    endpoint_.respond_error(caller, call_id, util::ErrorCode::kInvalidArgument,
+                            "malformed query");
+    return;
+  }
+  const auto id = service_->resolve(contact);
+  endpoint_.engine().schedule_after(query_cost_, [this, caller, call_id, id] {
+    ++served_;
+    auto summary = service_->summary(id);
+    if (!summary.is_ok()) {
+      endpoint_.respond_error(caller, call_id, summary.status().code(),
+                              summary.status().message());
+      return;
+    }
+    util::Writer w;
+    encode_summary(w, summary.value());
+    endpoint_.respond(caller, call_id, w.take());
+  });
 }
 
 void GisServer::handle_list(net::NodeId caller, std::uint64_t call_id,
@@ -109,6 +176,27 @@ void GisClient::query(const std::string& contact, sim::Time timeout,
                       return;
                     }
                     on_done(std::move(snap));
+                  });
+}
+
+void GisClient::query_summary(const std::string& contact, sim::Time timeout,
+                              SummaryFn on_done) {
+  util::Writer w;
+  w.str(contact);
+  endpoint_->call(server_, kMethodQuerySummary, w.take(), timeout,
+                  [on_done = std::move(on_done)](const util::Status& status,
+                                                 util::Reader& reply) {
+                    if (!status.is_ok()) {
+                      on_done(status);
+                      return;
+                    }
+                    sched::QueueSummary summary = decode_summary(reply);
+                    if (!reply.ok()) {
+                      on_done(util::Status(util::ErrorCode::kInternal,
+                                           "malformed summary"));
+                      return;
+                    }
+                    on_done(summary);
                   });
 }
 
@@ -165,6 +253,39 @@ void GisClient::query_many(
               gather->on_done(std::move(gather->results));
             }
           });
+  }
+}
+
+void GisClient::query_many_summaries(
+    std::vector<std::string> contacts, sim::Time timeout,
+    std::function<void(std::vector<util::Result<sched::QueueSummary>>)>
+        on_done) {
+  struct Gather {
+    std::vector<util::Result<sched::QueueSummary>> results;
+    std::size_t pending = 0;
+    std::function<void(std::vector<util::Result<sched::QueueSummary>>)>
+        on_done;
+  };
+  auto gather = std::make_shared<Gather>();
+  gather->pending = contacts.size();
+  gather->on_done = std::move(on_done);
+  gather->results.reserve(contacts.size());
+  for (std::size_t i = 0; i < contacts.size(); ++i) {
+    gather->results.emplace_back(
+        util::Status(util::ErrorCode::kInternal, "pending"));
+  }
+  if (contacts.empty()) {
+    gather->on_done({});
+    return;
+  }
+  for (std::size_t i = 0; i < contacts.size(); ++i) {
+    query_summary(contacts[i], timeout,
+                  [gather, i](util::Result<sched::QueueSummary> result) {
+                    gather->results[i] = std::move(result);
+                    if (--gather->pending == 0) {
+                      gather->on_done(std::move(gather->results));
+                    }
+                  });
   }
 }
 

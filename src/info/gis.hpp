@@ -7,6 +7,16 @@
 // realistic query latency, and GisClient is their access library.
 // Queries return the *published* (possibly stale) snapshot, never a live
 // view — exactly the §2.2 information model.
+//
+// Two server-side properties keep the query path off the O(queue-depth)
+// cliff at scale:
+//   - summary-first: kMethodQuerySummary serves the aggregate-only
+//     QueueSummary (fixed-size reply), which is all the broker/predictor
+//     stack needs; the full queued-job list stays available on demand via
+//     kMethodQuery;
+//   - reply caching: full-snapshot replies are encoded once per published
+//     version and fanned out as ref-counted payload shares, so repeated
+//     queries between publish rounds skip re-serializing the queue.
 #pragma once
 
 #include <functional>
@@ -20,15 +30,23 @@ namespace grid::info {
 
 /// RPC method ids (0x600 block reserved for the information service).
 enum Method : std::uint32_t {
-  kMethodQuery = 0x601,      // contact -> snapshot
+  kMethodQuery = 0x601,         // contact -> full snapshot
   kMethodListContacts = 0x602,
+  kMethodQuerySummary = 0x603,  // contact -> aggregate summary
 };
 
 void encode_snapshot(util::Writer& w, const sched::QueueSnapshot& snap);
 sched::QueueSnapshot decode_snapshot(util::Reader& r);
+void encode_summary(util::Writer& w, const sched::QueueSummary& summary);
+sched::QueueSummary decode_summary(util::Reader& r);
 
 class GisServer {
  public:
+  struct CacheStats {
+    std::uint64_t hits = 0;    // reply served as a shared pre-encoded frame
+    std::uint64_t misses = 0;  // reply encoded from the published snapshot
+  };
+
   /// `service` must outlive the server; `query_cost` models directory
   /// lookup time per request.
   GisServer(net::Network& network, sched::LoadInformationService& service,
@@ -40,17 +58,33 @@ class GisServer {
   /// Contacts the server will answer for (mirrors the service registry).
   void set_contacts(std::vector<std::string> contacts);
 
+  /// Reply-payload cache switch (benchmarks measure both sides of it).
+  void set_payload_cache(bool enabled) { cache_enabled_ = enabled; }
+  const CacheStats& cache_stats() const { return cache_stats_; }
+
  private:
+  struct CachedReply {
+    std::uint64_t version = 0;  // 0 = empty slot
+    sim::Payload frame;
+  };
+
   void handle_query(net::NodeId caller, std::uint64_t call_id,
                     util::Reader& args);
+  void handle_query_summary(net::NodeId caller, std::uint64_t call_id,
+                            util::Reader& args);
   void handle_list(net::NodeId caller, std::uint64_t call_id,
                    util::Reader& args);
+  void serve_query(net::NodeId caller, std::uint64_t call_id,
+                   sched::LoadInformationService::ContactId id);
 
   net::Endpoint endpoint_;
   sched::LoadInformationService* service_;
   sim::Time query_cost_;
   std::uint64_t served_ = 0;
   std::vector<std::string> contacts_;
+  bool cache_enabled_ = true;
+  std::vector<CachedReply> cache_;  // indexed by ContactId - 1
+  CacheStats cache_stats_;
 };
 
 class GisClient {
@@ -59,12 +93,17 @@ class GisClient {
 
   using SnapshotFn =
       std::function<void(util::Result<sched::QueueSnapshot>)>;
+  using SummaryFn = std::function<void(util::Result<sched::QueueSummary>)>;
   using ContactsFn =
       std::function<void(util::Result<std::vector<std::string>>)>;
 
   /// Fetches the published snapshot for one resource.
   void query(const std::string& contact, sim::Time timeout,
              SnapshotFn on_done);
+
+  /// Fetches the aggregate summary for one resource (fixed-size reply).
+  void query_summary(const std::string& contact, sim::Time timeout,
+                     SummaryFn on_done);
 
   /// Lists the contacts the directory knows about.
   void list_contacts(sim::Time timeout, ContactsFn on_done);
@@ -75,6 +114,13 @@ class GisClient {
                   std::function<void(
                       std::vector<util::Result<sched::QueueSnapshot>>)>
                       on_done);
+
+  /// Summary-first fan-out: like query_many, but each reply is the O(1)
+  /// aggregate view.  This is the broker's default at scale.
+  void query_many_summaries(
+      std::vector<std::string> contacts, sim::Time timeout,
+      std::function<void(std::vector<util::Result<sched::QueueSummary>>)>
+          on_done);
 
  private:
   net::Endpoint* endpoint_;

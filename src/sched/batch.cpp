@@ -14,6 +14,16 @@ std::int64_t QueueSnapshot::queued_work() const {
   return total;
 }
 
+QueueSummary summarize(const QueueSnapshot& snapshot) {
+  QueueSummary s;
+  s.taken_at = snapshot.taken_at;
+  s.total_processors = snapshot.total_processors;
+  s.busy_processors = snapshot.busy_processors;
+  s.queue_length = static_cast<std::uint32_t>(snapshot.queued.size());
+  s.queued_work = snapshot.queued_work();
+  return s;
+}
+
 BatchScheduler::BatchScheduler(sim::Engine& engine, std::int32_t processors,
                                Backfill backfill)
     : engine_(&engine),
@@ -50,6 +60,7 @@ util::Status BatchScheduler::submit(const JobDescriptor& job, StartFn on_start,
   queue_.push_back(std::move(q));
   queued_ids_.insert(job.id, 1);
   queued_work_ += static_cast<std::int64_t>(job.count) * job.estimated_runtime;
+  ++version_;
   if (was_blocked && !scheduling_) {
     // The head was already blocked and nothing freed processors since the
     // last pass, so FCFS cannot start anything and only the new tail job
@@ -206,6 +217,7 @@ std::int32_t BatchScheduler::backfill_scan(sim::Time now, sim::Time shadow,
 
 void BatchScheduler::start(Queued&& q) {
   free_ -= q.desc.count;
+  ++version_;
   queued_work_ -=
       static_cast<std::int64_t>(q.desc.count) * q.desc.estimated_runtime;
   Running r;
@@ -215,9 +227,11 @@ void BatchScheduler::start(Queued&& q) {
   r.est_end = estimated_end(r.desc, r.started_at);
   const JobId id = q.desc.id;
   queued_ids_.erase(id);
-  history_.push_back(WaitObservation{q.submitted_at, r.started_at,
-                                     q.desc.count, q.queue_length_at_submit,
-                                     q.queued_work_at_submit});
+  if (history_.size() < history_capacity_) {
+    history_.push_back(WaitObservation{q.submitted_at, r.started_at,
+                                       q.desc.count, q.queue_length_at_submit,
+                                       q.queued_work_at_submit});
+  }
   profile_.reserve(r.started_at, r.est_end, r.desc.count);
   if (r.est_end == sim::kTimeNever) unknown_busy_ += r.desc.count;
   Running& slot = running_.emplace(id, std::move(r));
@@ -243,6 +257,7 @@ void BatchScheduler::end_running(JobId id, EndReason reason) {
   engine_->cancel(r.wall_event);
   free_ += r.desc.count;
   ++state_gen_;
+  ++version_;
   cache_valid_ = false;
   const sim::Time now = engine_->now();
   if (r.est_end > now) {
@@ -269,6 +284,7 @@ bool BatchScheduler::cancel(JobId id) {
         queued_work_ -=
             static_cast<std::int64_t>(q.desc.count) * q.desc.estimated_runtime;
         ++state_gen_;          // an in-pass scan must not trust its indices
+        ++version_;
         cache_valid_ = false;  // the head (and thus the shadow) may change
         if (q.on_end) q.on_end(id, EndReason::kCancelled);
         try_schedule();  // removing a stuck head job may unblock others
@@ -282,6 +298,16 @@ bool BatchScheduler::cancel(JobId id) {
     return true;
   }
   return false;
+}
+
+QueueSummary BatchScheduler::summary() const {
+  QueueSummary s;
+  s.taken_at = engine_->now();
+  s.total_processors = total_;
+  s.busy_processors = total_ - free_;
+  s.queue_length = static_cast<std::uint32_t>(queue_.size());
+  s.queued_work = queued_work_;  // maintained incrementally by submit/start
+  return s;
 }
 
 QueueSnapshot BatchScheduler::snapshot() const {

@@ -41,9 +41,17 @@ class BatchScheduler final : public LocalScheduler {
   std::int32_t busy_processors() const override { return total_ - free_; }
   std::size_t queue_length() const override { return queue_.size(); }
   QueueSnapshot snapshot() const override;
+  QueueSummary summary() const override;
+  std::uint64_t version() const override { return version_; }
   std::string policy() const override {
     return backfill_ == Backfill::kEasy ? "easy-backfill" : "fcfs";
   }
+
+  /// Caps the wait-history vector (`wait_history()`): recording stops once
+  /// it holds `cap` observations.  Default is unlimited; sustained-load
+  /// scenarios set a cap (or 0) so a million-job day does not accrete an
+  /// unbounded observation log.
+  void set_history_capacity(std::size_t cap) { history_capacity_ = cap; }
 
   /// Virtual-time wait statistics of started jobs, for predictor training.
   struct WaitObservation {
@@ -111,8 +119,10 @@ class BatchScheduler final : public LocalScheduler {
   std::int32_t unknown_busy_ = 0;  // running procs occupying to kTimeNever
   std::int64_t queued_work_ = 0;   // sum of count*estimate over the queue
   std::vector<WaitObservation> history_;
+  std::size_t history_capacity_ = static_cast<std::size_t>(-1);
   bool scheduling_ = false;  // re-entrancy guard for try_schedule
   std::uint64_t state_gen_ = 0;  // bumped by end_running (re-entrant ends)
+  std::uint64_t version_ = 1;    // dirty-flag counter (0 = untracked)
   // Shadow state cached by the last full EASY pass that left the head
   // blocked; lets a submit decide its own fate without rescanning.
   bool cache_valid_ = false;

@@ -35,6 +35,7 @@ void ForkScheduler::start_job(JobId id, StartFn on_start) {
   Running& r = *found;
   r.started = true;
   running_count_ += r.desc.count;
+  ++version_;
   if (r.desc.runtime > 0) {
     r.runtime_event = engine_->schedule_after(
         r.desc.runtime, [this, id] { end_job(id, EndReason::kCompleted); });
@@ -56,6 +57,7 @@ void ForkScheduler::end_job(JobId id, EndReason reason) {
   engine_->cancel(r.runtime_event);
   engine_->cancel(r.wall_event);
   if (r.started) running_count_ -= r.desc.count;
+  ++version_;
   if (r.on_end) r.on_end(id, reason);
 }
 
@@ -69,6 +71,14 @@ bool ForkScheduler::cancel(JobId id) {
 
 QueueSnapshot ForkScheduler::snapshot() const {
   QueueSnapshot s;
+  s.taken_at = engine_->now();
+  s.total_processors = total_processors();
+  s.busy_processors = running_count_;
+  return s;
+}
+
+QueueSummary ForkScheduler::summary() const {
+  QueueSummary s;
   s.taken_at = engine_->now();
   s.total_processors = total_processors();
   s.busy_processors = running_count_;

@@ -30,6 +30,8 @@ class ForkScheduler final : public LocalScheduler {
   std::int32_t busy_processors() const override { return running_count_; }
   std::size_t queue_length() const override { return 0; }
   QueueSnapshot snapshot() const override;
+  QueueSummary summary() const override;
+  std::uint64_t version() const override { return version_; }
   std::string policy() const override { return "fork"; }
 
  private:
@@ -50,6 +52,7 @@ class ForkScheduler final : public LocalScheduler {
   std::int32_t nominal_;
   sim::IdSlab<Running> jobs_;
   std::int32_t running_count_ = 0;
+  std::uint64_t version_ = 1;  // dirty-flag counter (0 = untracked)
 };
 
 }  // namespace grid::sched

@@ -10,17 +10,36 @@ LoadInformationService::~LoadInformationService() { stop(); }
 
 void LoadInformationService::register_resource(std::string contact,
                                                const LocalScheduler* sched) {
-  Entry e;
-  e.sched = sched;
-  if (sched != nullptr) {
-    e.last = sched->snapshot();
-    e.published = true;
+  ContactId id = 0;
+  auto it = intern_.find(contact);
+  if (it != intern_.end()) {
+    id = it->second;
+  } else {
+    entries_.emplace_back();
+    id = static_cast<ContactId>(entries_.size());
+    entries_.back().contact = contact;
+    intern_.emplace(std::move(contact), id);
   }
-  resources_[std::move(contact)] = std::move(e);
+  Entry& e = entries_[id - 1];
+  if (!e.registered) ++registered_count_;
+  e.registered = true;
+  e.sched = sched;
+  e.published = false;
+  if (sched != nullptr) {
+    e.published_at = engine_->now();
+    refresh(e);
+  }
 }
 
 void LoadInformationService::unregister_resource(const std::string& contact) {
-  resources_.erase(contact);
+  auto it = intern_.find(contact);
+  if (it == intern_.end()) return;
+  Entry& e = entries_[it->second - 1];
+  if (!e.registered) return;
+  e.registered = false;
+  e.sched = nullptr;  // may be destroyed after unregistration
+  --registered_count_;
+  // e.snap stays alive for holders of previously returned SnapshotRefs.
 }
 
 void LoadInformationService::start() {
@@ -42,34 +61,108 @@ void LoadInformationService::tick() {
   }
 }
 
+void LoadInformationService::refresh(Entry& e) {
+  e.snap = std::make_shared<QueueSnapshot>(e.sched->snapshot());
+  e.summary = e.sched->summary();
+  e.sched_version = e.sched->version();
+  e.published_version = ++next_published_version_;
+  e.published = true;
+  ++stats_.snapshots_refreshed;
+}
+
 void LoadInformationService::publish_now() {
-  // Snapshot refresh updates each entry in place; nothing here schedules
-  // events or sends messages, so hash order cannot leak into results.
-  for (auto& [contact, entry] : resources_) {  // gridlint: allow(unordered-iter)
-    if (entry.sched != nullptr) {
-      entry.last = entry.sched->snapshot();
-      entry.published = true;
+  // Entries are visited in registration order; nothing here schedules
+  // events or sends messages, so publication cannot leak ordering.
+  ++stats_.publish_rounds;
+  const sim::Time now = engine_->now();
+  for (Entry& e : entries_) {
+    if (!e.registered || e.sched == nullptr) continue;
+    e.published_at = now;  // the round ran, even if the content held still
+    const std::uint64_t v = e.sched->version();
+    if (e.published && v != 0 && v == e.sched_version) {
+      ++stats_.snapshots_skipped;  // dirty flag clean: keep the shared copy
+      continue;
     }
+    refresh(e);
   }
+}
+
+LoadInformationService::ContactId LoadInformationService::resolve(
+    const std::string& contact) const {
+  auto it = intern_.find(contact);
+  return it == intern_.end() ? 0 : it->second;
+}
+
+LoadInformationService::Entry* LoadInformationService::entry(ContactId id) {
+  if (id == 0 || id > entries_.size()) return nullptr;
+  return &entries_[id - 1];
+}
+
+const LoadInformationService::Entry* LoadInformationService::entry(
+    ContactId id) const {
+  if (id == 0 || id > entries_.size()) return nullptr;
+  return &entries_[id - 1];
+}
+
+util::Result<LoadInformationService::SnapshotRef>
+LoadInformationService::snapshot_ref(ContactId id) const {
+  ++stats_.queries;
+  const Entry* e = entry(id);
+  if (e == nullptr || !e->registered) {
+    ++stats_.misses;
+    return util::small_status(util::ErrorCode::kNotFound, "unknown contact");
+  }
+  if (interval_ <= 0 && e->sched != nullptr) {
+    // Perfect-information mode: a live snapshot built per query.
+    return std::make_shared<const QueueSnapshot>(e->sched->snapshot());
+  }
+  if (!e->published) {
+    ++stats_.misses;
+    return util::small_status(util::ErrorCode::kNotFound, "unpublished");
+  }
+  return e->snap;
+}
+
+util::Result<QueueSummary> LoadInformationService::summary(
+    ContactId id) const {
+  ++stats_.queries;
+  const Entry* e = entry(id);
+  if (e == nullptr || !e->registered) {
+    ++stats_.misses;
+    return util::small_status(util::ErrorCode::kNotFound, "unknown contact");
+  }
+  if (interval_ <= 0 && e->sched != nullptr) {
+    return e->sched->summary();  // perfect information mode
+  }
+  if (!e->published) {
+    ++stats_.misses;
+    return util::small_status(util::ErrorCode::kNotFound, "unpublished");
+  }
+  return e->summary;
+}
+
+std::uint64_t LoadInformationService::published_version(ContactId id) const {
+  if (interval_ <= 0) return 0;  // live views: never cacheable
+  const Entry* e = entry(id);
+  if (e == nullptr || !e->registered || !e->published) return 0;
+  return e->published_version;
+}
+
+sim::Time LoadInformationService::staleness(ContactId id) const {
+  const Entry* e = entry(id);
+  if (e == nullptr || !e->registered || !e->published) return sim::kTimeNever;
+  return engine_->now() - e->published_at;
 }
 
 util::Result<QueueSnapshot> LoadInformationService::query(
     const std::string& contact) const {
-  auto it = resources_.find(contact);
-  if (it == resources_.end() || !it->second.published) {
-    return util::Status(util::ErrorCode::kNotFound,
-                        "no published information for '" + contact + "'");
-  }
-  if (interval_ <= 0 && it->second.sched != nullptr) {
-    return it->second.sched->snapshot();  // perfect information mode
-  }
-  return it->second.last;
+  auto ref = snapshot_ref(resolve(contact));
+  if (!ref.is_ok()) return ref.status();
+  return *ref.value();
 }
 
 sim::Time LoadInformationService::staleness(const std::string& contact) const {
-  auto it = resources_.find(contact);
-  if (it == resources_.end() || !it->second.published) return sim::kTimeNever;
-  return engine_->now() - it->second.last.taken_at;
+  return staleness(resolve(contact));
 }
 
 }  // namespace grid::sched

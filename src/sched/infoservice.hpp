@@ -5,10 +5,27 @@
 // Snapshots are refreshed on a fixed interval, so queries observe stale
 // data — the staleness that reference [14]'s simulation study identifies
 // as the limit on forecast-guided co-allocation (see bench/ablate_forecast).
+//
+// Scale architecture (O(1k) resources, 100k-deep queues):
+//   - contacts are interned to dense ContactIds once at registration, so
+//     the per-query path never hashes a string or allocates an error
+//     message;
+//   - published snapshots are shared immutable `shared_ptr<const
+//     QueueSnapshot>` values — a query hands out a reference, never a
+//     deep copy of the queued-job vector;
+//   - a publish round re-copies only resources whose scheduler `version()`
+//     moved since the last round (dirty-flag republish); unchanged queues
+//     cost O(1) per round regardless of depth;
+//   - the aggregate `QueueSummary` is published alongside, so consumers
+//     that only rank resources (predictors, brokers) never touch the
+//     per-job detail at all.
 #pragma once
 
+#include <cstdint>
+#include <memory>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "sched/scheduler.hpp"
 #include "simkit/engine.hpp"
@@ -17,6 +34,24 @@ namespace grid::sched {
 
 class LoadInformationService {
  public:
+  /// Dense interned contact handle; 0 is invalid.  Ids are stable for the
+  /// service's lifetime (unregistering tombstones the slot, re-registering
+  /// the same contact revives it).
+  using ContactId = std::uint32_t;
+
+  /// Shared immutable published snapshot.  Holders may keep the reference
+  /// across later publish rounds; the service never mutates a snapshot it
+  /// has handed out, it swaps in a fresh one.
+  using SnapshotRef = std::shared_ptr<const QueueSnapshot>;
+
+  struct Stats {
+    std::uint64_t publish_rounds = 0;
+    std::uint64_t snapshots_refreshed = 0;  // scheduler version moved
+    std::uint64_t snapshots_skipped = 0;    // dirty flag said "unchanged"
+    std::uint64_t queries = 0;
+    std::uint64_t misses = 0;
+  };
+
   /// Snapshots are refreshed every `publish_interval`; 0 publishes on every
   /// query (perfect information).
   LoadInformationService(sim::Engine& engine, sim::Time publish_interval);
@@ -26,7 +61,8 @@ class LoadInformationService {
   LoadInformationService& operator=(const LoadInformationService&) = delete;
 
   /// Registers a resource under its manager contact string.  The scheduler
-  /// must outlive the service.
+  /// must outlive the service.  Re-registering a known contact revives its
+  /// ContactId.
   void register_resource(std::string contact, const LocalScheduler* sched);
   void unregister_resource(const std::string& contact);
 
@@ -37,29 +73,68 @@ class LoadInformationService {
   /// Refreshes all snapshots immediately.
   void publish_now();
 
-  /// Most recently published snapshot; kNotFound for unknown contacts.
+  // ---- interned hot path ---------------------------------------------------
+
+  /// Contact string -> dense id; 0 for contacts never registered.  Resolve
+  /// once, then query by id.
+  ContactId resolve(const std::string& contact) const;
+
+  /// Most recently published snapshot, shared (no copy).  kNotFound for
+  /// invalid / unregistered / never-published ids.
+  util::Result<SnapshotRef> snapshot_ref(ContactId id) const;
+
+  /// Aggregate-only published view — O(1) data regardless of queue depth.
+  util::Result<QueueSummary> summary(ContactId id) const;
+
+  /// Version of the published content: moves exactly when a publish round
+  /// actually refreshed this resource's snapshot, so consumers can cache
+  /// derived artifacts (e.g. encoded reply payloads) keyed on it.
+  /// 0 means "don't cache" (unknown id, unregistered, or perfect-
+  /// information mode where every query sees live state).
+  std::uint64_t published_version(ContactId id) const;
+
+  sim::Time staleness(ContactId id) const;
+
+  // ---- string-keyed compatibility API --------------------------------------
+
+  /// Most recently published snapshot (deep copy); kNotFound for unknown
+  /// contacts.  Prefer resolve() + snapshot_ref() on hot paths.
   util::Result<QueueSnapshot> query(const std::string& contact) const;
 
   /// Age of the published snapshot for a contact (kTimeNever if unknown).
   sim::Time staleness(const std::string& contact) const;
 
-  std::size_t resource_count() const { return resources_.size(); }
+  std::size_t resource_count() const { return registered_count_; }
   sim::Time publish_interval() const { return interval_; }
+  const Stats& stats() const { return stats_; }
 
  private:
   struct Entry {
+    std::string contact;
     const LocalScheduler* sched = nullptr;
-    QueueSnapshot last;
+    SnapshotRef snap;
+    QueueSummary summary;
+    std::uint64_t sched_version = 0;      // scheduler version at last refresh
+    std::uint64_t published_version = 0;  // bumped on every content refresh
+    sim::Time published_at = 0;           // last publish round touching this
     bool published = false;
+    bool registered = false;
   };
 
   void tick();
+  void refresh(Entry& e);
+  Entry* entry(ContactId id);
+  const Entry* entry(ContactId id) const;
 
   sim::Engine* engine_;
   sim::Time interval_;
   bool running_ = false;
   sim::EventId tick_event_;
-  std::unordered_map<std::string, Entry> resources_;
+  std::vector<Entry> entries_;  // indexed by ContactId - 1
+  std::unordered_map<std::string, ContactId> intern_;
+  std::size_t registered_count_ = 0;
+  std::uint64_t next_published_version_ = 0;
+  mutable Stats stats_;
 };
 
 }  // namespace grid::sched

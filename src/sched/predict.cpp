@@ -10,17 +10,21 @@ AggregateWorkPredictor::AggregateWorkPredictor(sim::Time mean_job_runtime)
 
 sim::Time AggregateWorkPredictor::predict(const QueueSnapshot& snapshot,
                                           std::int32_t count) const {
-  if (snapshot.total_processors <= 0) return 0;
-  const std::int32_t free =
-      snapshot.total_processors - snapshot.busy_processors;
-  if (snapshot.queued.empty() && count <= free) return 0;
+  return predict(summarize(snapshot), count);
+}
+
+sim::Time AggregateWorkPredictor::predict(const QueueSummary& summary,
+                                          std::int32_t count) const {
+  if (summary.total_processors <= 0) return 0;
+  if (summary.queue_length == 0 && count <= summary.free_processors()) {
+    return 0;
+  }
   // Queued work drains across the whole machine; a busy machine adds the
   // expected residual of the jobs occupying it.
-  const double machine = static_cast<double>(snapshot.total_processors);
-  const double drain =
-      static_cast<double>(snapshot.queued_work()) / machine;
+  const double machine = static_cast<double>(summary.total_processors);
+  const double drain = static_cast<double>(summary.queued_work) / machine;
   const double residual =
-      static_cast<double>(snapshot.busy_processors) / machine *
+      static_cast<double>(summary.busy_processors) / machine *
       static_cast<double>(mean_job_runtime_) / 2.0;
   return static_cast<sim::Time>(drain + residual);
 }
@@ -47,10 +51,15 @@ void HistoryPredictor::train(
 
 sim::Time HistoryPredictor::predict(const QueueSnapshot& snapshot,
                                     std::int32_t count) const {
+  return predict(summarize(snapshot), count);
+}
+
+sim::Time HistoryPredictor::predict(const QueueSummary& summary,
+                                    std::int32_t count) const {
   if (window_.empty()) return 0;
   // Distance in a normalized (queue length, queued work, count) space.
-  const auto qlen = static_cast<double>(snapshot.queued.size());
-  const auto qwork = static_cast<double>(snapshot.queued_work());
+  const auto qlen = static_cast<double>(summary.queue_length);
+  const auto qwork = static_cast<double>(summary.queued_work);
   struct Scored {
     double distance;
     sim::Time wait;

@@ -28,6 +28,12 @@ class WaitPredictor {
   /// processors, given a published snapshot of the target queue.
   virtual sim::Time predict(const QueueSnapshot& snapshot,
                             std::int32_t count) const = 0;
+
+  /// Same prediction from the aggregate-only summary.  Both provided
+  /// predictors read nothing but aggregates, so this is exact — and it is
+  /// the form the broker uses at scale (O(1) data per candidate).
+  virtual sim::Time predict(const QueueSummary& summary,
+                            std::int32_t count) const = 0;
 };
 
 /// Deterministic aggregate bound: remaining queued work spread over the
@@ -39,6 +45,8 @@ class AggregateWorkPredictor final : public WaitPredictor {
   explicit AggregateWorkPredictor(sim::Time mean_job_runtime = sim::kMinute);
 
   sim::Time predict(const QueueSnapshot& snapshot,
+                    std::int32_t count) const override;
+  sim::Time predict(const QueueSummary& summary,
                     std::int32_t count) const override;
 
  private:
@@ -60,6 +68,8 @@ class HistoryPredictor final : public WaitPredictor {
   void train(const std::vector<BatchScheduler::WaitObservation>& history);
 
   sim::Time predict(const QueueSnapshot& snapshot,
+                    std::int32_t count) const override;
+  sim::Time predict(const QueueSummary& summary,
                     std::int32_t count) const override;
 
   std::size_t observation_count() const { return window_.size(); }

@@ -114,7 +114,10 @@ util::Status ReservationScheduler::submit_reserved(const JobDescriptor& job,
   q.on_end = std::move(on_end);
   q.submitted_at = engine_->now();
   q.reservation = rid;
+  queued_work_ +=
+      static_cast<std::int64_t>(job.count) * job.estimated_runtime;
   queue_.push_back(std::move(q));
+  ++version_;
   try_schedule();
   return util::Status::ok();
 }
@@ -132,7 +135,10 @@ util::Status ReservationScheduler::submit(const JobDescriptor& job,
   q.on_start = std::move(on_start);
   q.on_end = std::move(on_end);
   q.submitted_at = engine_->now();
+  queued_work_ +=
+      static_cast<std::int64_t>(job.count) * job.estimated_runtime;
   queue_.push_back(std::move(q));
+  ++version_;
   try_schedule();
   return util::Status::ok();
 }
@@ -159,6 +165,9 @@ void ReservationScheduler::try_schedule() {
         // Reservation expired or cancelled before the job could start.
         Queued dead = std::move(q);
         queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(i));
+        queued_work_ -= static_cast<std::int64_t>(dead.desc.count) *
+                        dead.desc.estimated_runtime;
+        ++version_;
         if (dead.on_end) dead.on_end(dead.desc.id, EndReason::kCancelled);
         progressed = true;
         break;
@@ -166,6 +175,8 @@ void ReservationScheduler::try_schedule() {
       if (it->start <= now) {
         Queued ready = std::move(q);
         queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(i));
+        queued_work_ -= static_cast<std::int64_t>(ready.desc.count) *
+                        ready.desc.estimated_runtime;
         start(std::move(ready));
         progressed = true;
         break;
@@ -187,6 +198,8 @@ void ReservationScheduler::try_schedule() {
       if (busy_best_ + q.desc.count + reserved_peak <= total_) {
         Queued ready = std::move(q);
         queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(i));
+        queued_work_ -= static_cast<std::int64_t>(ready.desc.count) *
+                        ready.desc.estimated_runtime;
         start(std::move(ready));
         progressed = true;
       }
@@ -198,6 +211,7 @@ void ReservationScheduler::try_schedule() {
 
 void ReservationScheduler::start(Queued&& q) {
   busy_ += q.desc.count;
+  ++version_;
   Running r;
   r.desc = q.desc;
   r.on_end = std::move(q.on_end);
@@ -233,6 +247,7 @@ void ReservationScheduler::end_running(JobId id, EndReason reason) {
   engine_->cancel(r.runtime_event);
   engine_->cancel(r.wall_event);
   busy_ -= r.desc.count;
+  ++version_;
   if (r.reservation == 0) {
     busy_best_ -= r.desc.count;
     const sim::Time now = engine_->now();
@@ -255,6 +270,9 @@ bool ReservationScheduler::cancel(JobId id) {
     if (it->desc.id == id) {
       Queued q = std::move(*it);
       queue_.erase(it);
+      queued_work_ -= static_cast<std::int64_t>(q.desc.count) *
+                      q.desc.estimated_runtime;
+      ++version_;
       if (q.on_end) q.on_end(id, EndReason::kCancelled);
       try_schedule();
       return true;
@@ -265,6 +283,16 @@ bool ReservationScheduler::cancel(JobId id) {
     return true;
   }
   return false;
+}
+
+QueueSummary ReservationScheduler::summary() const {
+  QueueSummary s;
+  s.taken_at = engine_->now();
+  s.total_processors = total_;
+  s.busy_processors = busy_;
+  s.queue_length = static_cast<std::uint32_t>(queue_.size());
+  s.queued_work = queued_work_;  // maintained incrementally at queue edits
+  return s;
 }
 
 QueueSnapshot ReservationScheduler::snapshot() const {

@@ -78,6 +78,8 @@ class ReservationScheduler final : public LocalScheduler {
   std::int32_t busy_processors() const override { return busy_; }
   std::size_t queue_length() const override { return queue_.size(); }
   QueueSnapshot snapshot() const override;
+  QueueSummary summary() const override;
+  std::uint64_t version() const override { return version_; }
   std::string policy() const override { return "fcfs+reservations"; }
 
  private:
@@ -117,6 +119,8 @@ class ReservationScheduler final : public LocalScheduler {
   std::deque<Queued> queue_;
   sim::IdSlab<Running> running_;
   bool scheduling_ = false;
+  std::int64_t queued_work_ = 0;  // sum of count*estimate over the queue
+  std::uint64_t version_ = 1;     // dirty-flag counter (0 = untracked)
 };
 
 }  // namespace grid::sched

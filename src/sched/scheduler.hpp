@@ -58,6 +58,27 @@ struct QueueSnapshot {
   std::int64_t queued_work() const;
 };
 
+/// Aggregate-only view of a scheduler: everything the wait predictors and
+/// the broker need, with no per-job detail.  Publishing and serving this is
+/// O(1) regardless of queue depth, so the information service prefers it
+/// and falls back to full snapshots only when a consumer asks for the
+/// queued-job list.
+struct QueueSummary {
+  sim::Time taken_at = 0;
+  std::int32_t total_processors = 0;
+  std::int32_t busy_processors = 0;
+  std::uint32_t queue_length = 0;
+  std::int64_t queued_work = 0;  // processor-nanoseconds
+
+  std::int32_t free_processors() const {
+    return total_processors - busy_processors;
+  }
+};
+
+/// Derives the aggregate view from a full snapshot (O(queue depth); the
+/// concrete schedulers override summary() with O(1) incremental state).
+QueueSummary summarize(const QueueSnapshot& snapshot);
+
 class LocalScheduler {
  public:
   /// Invoked when the scheduler allocates processors and starts the job.
@@ -85,6 +106,17 @@ class LocalScheduler {
   virtual std::int32_t busy_processors() const = 0;
   virtual std::size_t queue_length() const = 0;
   virtual QueueSnapshot snapshot() const = 0;
+
+  /// Aggregate-only snapshot.  The default derives it from snapshot() and
+  /// costs O(queue depth); production schedulers override it with O(1)
+  /// incrementally maintained counters.
+  virtual QueueSummary summary() const { return summarize(snapshot()); }
+
+  /// Monotonic counter bumped on every observable state change (submit,
+  /// start, end, cancel, reservation edit).  Information services use it
+  /// as a dirty flag: equal versions guarantee an identical snapshot.
+  /// 0 means "untracked" — consumers must treat the state as always dirty.
+  virtual std::uint64_t version() const { return 0; }
 
   /// Human-readable policy name ("fork", "fcfs", "easy-backfill", ...).
   virtual std::string policy() const = 0;

@@ -27,6 +27,16 @@ enum class ErrorCode {
 
 std::string to_string(ErrorCode code);
 
+class Status;
+
+/// Builds a Status whose message is short enough for the small-string
+/// optimization, so hot miss paths (information-service lookups, slab
+/// probes) report errors without touching the heap.  libstdc++ keeps 15
+/// chars inline; the static_assert turns a too-long literal into a compile
+/// error instead of a silent allocation.
+template <std::size_t N>
+Status small_status(ErrorCode code, const char (&message)[N]);
+
 class Status {
  public:
   Status() = default;  // OK
@@ -45,6 +55,14 @@ class Status {
   ErrorCode code_ = ErrorCode::kOk;
   std::string message_;
 };
+
+template <std::size_t N>
+Status small_status(ErrorCode code, const char (&message)[N]) {
+  static_assert(N <= 16,
+                "message exceeds the 15-char SSO budget; shorten it or use "
+                "Status directly");
+  return Status(code, message);
+}
 
 /// A value or a Status; asserts on wrong-side access.
 template <typename T>

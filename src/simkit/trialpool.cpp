@@ -1,5 +1,6 @@
 #include "simkit/trialpool.hpp"
 
+#include <algorithm>
 #include <condition_variable>
 #include <cstdlib>
 #include <exception>
@@ -15,6 +16,7 @@ struct TrialPool::Impl {
   const std::function<void(std::size_t)>* body = nullptr;
   std::size_t count = 0;
   std::size_t next = 0;
+  std::size_t chunk = 1;
   std::size_t in_flight = 0;
   std::exception_ptr error;
   bool stop = false;
@@ -55,11 +57,15 @@ void TrialPool::worker_loop() {
       return st.stop || (st.body != nullptr && st.next < st.count);
     });
     if (st.stop) return;
-    const std::size_t i = st.next++;
+    // Claim a contiguous chunk per lock acquisition: short trials would
+    // otherwise serialize on the sweep mutex instead of running.
+    const std::size_t first = st.next;
+    const std::size_t take = std::min(st.chunk, st.count - st.next);
+    st.next += take;
     ++st.in_flight;
     lock.unlock();
     try {
-      (*st.body)(i);
+      for (std::size_t i = first; i < first + take; ++i) (*st.body)(i);
       lock.lock();
     } catch (...) {
       lock.lock();
@@ -74,6 +80,13 @@ void TrialPool::worker_loop() {
 void TrialPool::run_indexed(std::size_t count,
                             const std::function<void(std::size_t)>& body) {
   if (count == 0) return;
+  if (threads_.size() <= 1) {
+    // One worker can do no better than the caller itself: run the sweep
+    // inline and skip the handoff entirely, so a serial ensemble pays zero
+    // synchronization overhead (exceptions propagate naturally).
+    for (std::size_t i = 0; i < count; ++i) body(i);
+    return;
+  }
   Impl& st = *impl_;
   std::unique_lock<std::mutex> lock(st.mu);
   st.body = &body;
@@ -81,6 +94,9 @@ void TrialPool::run_indexed(std::size_t count,
   st.next = 0;
   st.in_flight = 0;
   st.error = nullptr;
+  // Aim for several chunks per worker so stragglers still balance, while
+  // long sweeps of tiny trials take the lock O(workers) times, not O(n).
+  st.chunk = std::max<std::size_t>(1, count / (threads_.size() * 8));
   st.work_cv.notify_all();
   st.done_cv.wait(lock,
                   [&] { return st.next >= st.count && st.in_flight == 0; });

@@ -16,12 +16,34 @@ CostModel CostModel::fast() {
   return m;
 }
 
+namespace {
+
+sim::Time scale_time(sim::Time t, double s) {
+  return static_cast<sim::Time>(static_cast<double>(t) * s);
+}
+
+}  // namespace
+
 Host::Host(Grid& grid, const HostSpec& spec) : grid_(&grid), spec_(spec) {
+  // cost_scale == 1.0 must leave every figure byte-identical, so the
+  // unscaled path passes the grid's cost structs through untouched.
+  gsi::CostModel gsi_costs = grid_->costs().gsi;
+  gram::GatekeeperCosts gk_costs = grid_->costs().gatekeeper;
+  sim::Time fork_cost = grid_->costs().fork_cost_per_process;
+  if (spec_.cost_scale != 1.0) {
+    const double s = spec_.cost_scale;
+    gsi_costs.client_sign = scale_time(gsi_costs.client_sign, s);
+    gsi_costs.server_verify = scale_time(gsi_costs.server_verify, s);
+    gsi_costs.client_verify = scale_time(gsi_costs.client_verify, s);
+    gsi_costs.server_issue = scale_time(gsi_costs.server_issue, s);
+    gk_costs.misc_processing = scale_time(gk_costs.misc_processing, s);
+    gk_costs.exec_startup = scale_time(gk_costs.exec_startup, s);
+    fork_cost = scale_time(fork_cost, s);
+  }
   switch (spec_.scheduler) {
     case SchedulerKind::kFork:
       scheduler_ = std::make_unique<sched::ForkScheduler>(
-          grid_->engine(), grid_->costs().fork_cost_per_process,
-          spec_.processors);
+          grid_->engine(), fork_cost, spec_.processors);
       break;
     case SchedulerKind::kFcfs:
       scheduler_ = std::make_unique<sched::BatchScheduler>(
@@ -41,7 +63,7 @@ Host::Host(Grid& grid, const HostSpec& spec) : grid_(&grid), spec_(spec) {
       grid_->ca(), grid_->gridmap(),
       grid_->ca().issue("/O=Grid/CN=host/" + spec_.name,
                         sim::kTimeNever / 2),
-      grid_->nis().id(), grid_->costs().gsi, grid_->costs().gatekeeper);
+      grid_->nis().id(), gsi_costs, gk_costs);
 }
 
 sched::BatchScheduler* Host::batch_scheduler() {
@@ -99,9 +121,11 @@ core::ContactResolver Grid::resolver() {
   return [this](const std::string& contact) -> util::Result<net::NodeId> {
     Host* h = host(contact);
     if (h == nullptr) {
-      return util::Status(util::ErrorCode::kNotFound,
-                          "unknown resource manager contact '" + contact +
-                              "'");
+      // Static message: brokers probing a churning testbed hit this miss
+      // path per candidate, and an allocating status would put string
+      // construction on the selection hot path.
+      return util::small_status(util::ErrorCode::kNotFound,
+                                "unknown contact");
     }
     return h->contact();
   };

@@ -37,6 +37,10 @@ struct HostSpec {
   std::string name;
   std::int32_t processors = 64;
   SchedulerKind scheduler = SchedulerKind::kFork;
+  /// Multiplies this host's service costs (GSI, gatekeeper, fork) relative
+  /// to the grid cost model — heterogeneous testbeds give each resource a
+  /// different speed.  1.0 uses the grid model untouched.
+  double cost_scale = 1.0;
 };
 
 /// One resource: a local scheduler plus its GRAM gatekeeper.

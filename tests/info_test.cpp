@@ -166,6 +166,194 @@ TEST_F(GisFixture, QueryManyEmptyCompletesImmediately) {
   EXPECT_TRUE(done);
 }
 
+// ---- summary-first, shared snapshots, and the reply-payload cache ---------
+
+TEST_F(GisFixture, SummaryQueryMatchesSnapshotAggregates) {
+  // Give the busy machine a queued job so every aggregate field is nonzero.
+  sched::JobDescriptor d;
+  d.id = 2;
+  d.count = 32;
+  d.runtime = sim::kHour;
+  d.estimated_runtime = sim::kHour;
+  busy->submit(d, nullptr, nullptr);
+  service->publish_now();
+  util::Result<sched::QueueSummary> summary{
+      util::Status(util::ErrorCode::kInternal, "unset")};
+  util::Result<sched::QueueSnapshot> snap{
+      util::Status(util::ErrorCode::kInternal, "unset")};
+  client->query_summary("busy", sim::kSecond,
+                        [&](util::Result<sched::QueueSummary> r) {
+                          summary = std::move(r);
+                        });
+  client->query("busy", sim::kSecond,
+                [&](util::Result<sched::QueueSnapshot> r) {
+                  snap = std::move(r);
+                });
+  engine->run();
+  ASSERT_TRUE(summary.is_ok()) << summary.status().to_string();
+  ASSERT_TRUE(snap.is_ok()) << snap.status().to_string();
+  const sched::QueueSummary derived = sched::summarize(snap.value());
+  EXPECT_EQ(summary.value().taken_at, derived.taken_at);
+  EXPECT_EQ(summary.value().total_processors, derived.total_processors);
+  EXPECT_EQ(summary.value().busy_processors, derived.busy_processors);
+  EXPECT_EQ(summary.value().queue_length, 1u);
+  EXPECT_EQ(summary.value().queued_work, derived.queued_work);
+}
+
+TEST_F(GisFixture, PayloadCacheServesSharedFramesUntilRepublish) {
+  const auto query_busy = [&] {
+    bool done = false;
+    client->query("busy", sim::kSecond,
+                  [&](util::Result<sched::QueueSnapshot> r) {
+                    ASSERT_TRUE(r.is_ok()) << r.status().to_string();
+                    done = true;
+                  });
+    engine->run();
+    EXPECT_TRUE(done);
+  };
+  query_busy();
+  query_busy();
+  // First query encoded the reply; the second reused the shared frame.
+  EXPECT_EQ(server->cache_stats().misses, 1u);
+  EXPECT_EQ(server->cache_stats().hits, 1u);
+  // New published content invalidates the cached frame exactly once.
+  sched::JobDescriptor d;
+  d.id = 3;
+  d.count = 32;
+  d.runtime = sim::kHour;
+  busy->submit(d, nullptr, nullptr);
+  service->publish_now();
+  query_busy();
+  EXPECT_EQ(server->cache_stats().misses, 2u);
+  EXPECT_EQ(server->cache_stats().hits, 1u);
+  query_busy();
+  EXPECT_EQ(server->cache_stats().hits, 2u);
+}
+
+TEST_F(GisFixture, UnregisterWhileQueryInFlightReturnsNotFound) {
+  util::Status status;
+  bool done = false;
+  client->query("busy", sim::kSecond,
+                [&](util::Result<sched::QueueSnapshot> r) {
+                  status = r.status();
+                  done = true;
+                });
+  // The query is on the wire; the resource drops out of the directory
+  // before the server's deferred lookup runs.
+  service->unregister_resource("busy");
+  engine->run();
+  ASSERT_TRUE(done);
+  EXPECT_EQ(status.code(), util::ErrorCode::kNotFound);
+}
+
+TEST_F(GisFixture, SharedSnapshotSurvivesRepublishAndUnregister) {
+  const auto id = service->resolve("busy");
+  ASSERT_NE(id, 0u);
+  auto ref = service->snapshot_ref(id);
+  ASSERT_TRUE(ref.is_ok());
+  const sched::LoadInformationService::SnapshotRef held = ref.value();
+  EXPECT_EQ(held->busy_processors, 64);
+  EXPECT_TRUE(held->queued.empty());
+  // A republish with new content swaps in a fresh snapshot object; the
+  // held reference keeps observing the old one (query_many fan-outs hold
+  // refs across publish rounds exactly like this).
+  sched::JobDescriptor d;
+  d.id = 4;
+  d.count = 32;
+  d.runtime = sim::kHour;
+  busy->submit(d, nullptr, nullptr);
+  service->publish_now();
+  auto fresh = service->snapshot_ref(id);
+  ASSERT_TRUE(fresh.is_ok());
+  EXPECT_NE(fresh.value().get(), held.get());
+  EXPECT_EQ(fresh.value()->queued.size(), 1u);
+  EXPECT_TRUE(held->queued.empty());
+  // Unregistration tombstones the entry without touching the held ref.
+  service->unregister_resource("busy");
+  EXPECT_FALSE(service->snapshot_ref(id).is_ok());
+  EXPECT_EQ(held->busy_processors, 64);
+  EXPECT_EQ(service->resource_count(), 1u);
+}
+
+TEST_F(GisFixture, DirtyFlagRepublishSkipsUnchangedQueues) {
+  const auto id_busy = service->resolve("busy");
+  const auto id_idle = service->resolve("idle");
+  const std::uint64_t v_busy = service->published_version(id_busy);
+  const std::uint64_t v_idle = service->published_version(id_idle);
+  const auto before = service->stats();
+  // Nothing moved since the fixture's publish: both entries skip.
+  service->publish_now();
+  EXPECT_EQ(service->stats().snapshots_skipped,
+            before.snapshots_skipped + 2);
+  EXPECT_EQ(service->published_version(id_busy), v_busy);
+  EXPECT_EQ(service->published_version(id_idle), v_idle);
+  // A submit dirties exactly one scheduler; only that entry re-copies.
+  sched::JobDescriptor d;
+  d.id = 5;
+  d.count = 8;
+  d.runtime = sim::kHour;
+  busy->submit(d, nullptr, nullptr);
+  service->publish_now();
+  EXPECT_EQ(service->stats().snapshots_skipped,
+            before.snapshots_skipped + 3);
+  EXPECT_EQ(service->stats().snapshots_refreshed,
+            before.snapshots_refreshed + 1);
+  EXPECT_GT(service->published_version(id_busy), v_busy);
+  EXPECT_EQ(service->published_version(id_idle), v_idle);
+}
+
+TEST(LoadInformationServicePerfect, LiveViewsAreNeverCacheable) {
+  sim::Engine engine;
+  sched::BatchScheduler s(engine, 8);
+  sched::LoadInformationService service(engine, 0);
+  service.register_resource("rm", &s);
+  const auto id = service.resolve("rm");
+  ASSERT_NE(id, 0u);
+  // Perfect-information mode: consumers must never cache derived replies.
+  EXPECT_EQ(service.published_version(id), 0u);
+  sched::JobDescriptor d;
+  d.id = 1;
+  d.count = 4;
+  d.runtime = sim::kMinute;
+  s.submit(d, nullptr, nullptr);
+  // Live view, no publish round needed.
+  EXPECT_EQ(service.summary(id).value().busy_processors, 4);
+  EXPECT_EQ(service.snapshot_ref(id).value()->busy_processors, 4);
+}
+
+TEST(GisServerPerfectInfo, CacheStaysColdOnLiveViews) {
+  sim::Engine engine;
+  net::Network network(engine);
+  sched::BatchScheduler s(engine, 8);
+  sched::LoadInformationService service(engine, 0);
+  service.register_resource("rm", &s);
+  info::GisServer server(network, service);
+  server.set_contacts({"rm"});
+  net::Endpoint ep(network, "client");
+  info::GisClient client(ep, server.contact());
+  std::int32_t seen = -1;
+  client.query("rm", sim::kSecond, [&](util::Result<sched::QueueSnapshot> r) {
+    ASSERT_TRUE(r.is_ok());
+    seen = r.value().busy_processors;
+  });
+  engine.run();
+  EXPECT_EQ(seen, 0);
+  // The load changes; a cached frame would wrongly replay the old reply.
+  sched::JobDescriptor d;
+  d.id = 1;
+  d.count = 4;
+  d.runtime = sim::kHour;
+  s.submit(d, nullptr, nullptr);
+  client.query("rm", sim::kSecond, [&](util::Result<sched::QueueSnapshot> r) {
+    ASSERT_TRUE(r.is_ok());
+    seen = r.value().busy_processors;
+  });
+  engine.run();
+  EXPECT_EQ(seen, 4);
+  EXPECT_EQ(server.cache_stats().hits, 0u);
+  EXPECT_EQ(server.cache_stats().misses, 2u);
+}
+
 // ---- broker ---------------------------------------------------------------------
 
 TEST_F(GisFixture, BrokerPicksLeastLoaded) {
@@ -214,6 +402,36 @@ TEST_F(GisFixture, BrokerRejectsDegenerateInputs) {
                 [&](util::Result<std::vector<info::ResourceBroker::Placement>>
                         r) { status = r.status(); });
   EXPECT_EQ(status.code(), util::ErrorCode::kInvalidArgument);
+}
+
+TEST_F(GisFixture, BrokerSummarySelectionMatchesSnapshotSelection) {
+  // The documented contract: with the stock predictors, the summary-first
+  // path ranks candidates identically to full-snapshot selection.
+  sched::AggregateWorkPredictor predictor;
+  info::ResourceBroker broker(*client, predictor);
+  util::Result<std::vector<info::ResourceBroker::Placement>> via_snap{
+      util::Status(util::ErrorCode::kInternal, "unset")};
+  util::Result<std::vector<info::ResourceBroker::Placement>> via_summary{
+      util::Status(util::ErrorCode::kInternal, "unset")};
+  broker.select({"busy", "idle"}, 2, 16, sim::kSecond,
+                [&](util::Result<std::vector<info::ResourceBroker::Placement>>
+                        r) { via_snap = std::move(r); });
+  broker.select_by_summary(
+      {"busy", "idle"}, 2, 16, sim::kSecond,
+      [&](util::Result<std::vector<info::ResourceBroker::Placement>> r) {
+        via_summary = std::move(r);
+      });
+  engine->run();
+  ASSERT_TRUE(via_snap.is_ok()) << via_snap.status().to_string();
+  ASSERT_TRUE(via_summary.is_ok()) << via_summary.status().to_string();
+  ASSERT_EQ(via_snap.value().size(), via_summary.value().size());
+  for (std::size_t i = 0; i < via_snap.value().size(); ++i) {
+    EXPECT_EQ(via_snap.value()[i].contact, via_summary.value()[i].contact);
+    EXPECT_EQ(via_snap.value()[i].predicted_wait,
+              via_summary.value()[i].predicted_wait);
+    EXPECT_EQ(via_snap.value()[i].free_processors,
+              via_summary.value()[i].free_processors);
+  }
 }
 
 TEST(Broker, BuildRequestsMapsPlacements) {

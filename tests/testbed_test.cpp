@@ -7,6 +7,7 @@
 #include "simkit/log.hpp"
 #include "test_util.hpp"
 #include "testbed/report.hpp"
+#include "testbed/scale.hpp"
 
 namespace grid {
 namespace {
@@ -227,6 +228,81 @@ TEST(AppBehavior, InstallAppIsDeterministicPerSeed) {
   };
   EXPECT_EQ(run_once(7), run_once(7));
   EXPECT_EQ(run_once(8), run_once(8));
+}
+
+// ---- per-host cost scaling ----------------------------------------------------
+
+TEST(HostCostScale, ScaledHostStartsSlower) {
+  // Two one-host grids differing only in cost_scale: the scaled host pays
+  // proportionally more for GSI + gatekeeper work, so the same atomic
+  // request releases strictly later.
+  auto release_time = [](double scale) {
+    test::SmallGrid g(0);
+    testbed::HostSpec spec;
+    spec.name = "host1";
+    spec.processors = 64;
+    spec.cost_scale = scale;
+    g.grid->add_host(spec);
+    test::Outcome outcome;
+    auto* req = g.coallocator->create_request(outcome.callbacks());
+    EXPECT_TRUE(
+        req->add_rsl(testbed::rsl_multi({testbed::rsl_subjob("host1", 8, "app")}))
+            .is_ok());
+    req->commit();
+    g.grid->run();
+    EXPECT_TRUE(outcome.released) << outcome.status.to_string();
+    return g.grid->engine().now();
+  };
+  const sim::Time base = release_time(1.0);
+  const sim::Time scaled = release_time(8.0);
+  EXPECT_GT(scaled, base);
+}
+
+// ---- grid-at-scale scenario ---------------------------------------------------
+
+testbed::ScaleSpec tiny_scale_spec(std::uint64_t seed) {
+  testbed::ScaleSpec spec;
+  spec.resources = 12;
+  spec.seed = seed;
+  spec.duration = 10 * sim::kMinute;
+  spec.background_jobs_per_day = 40'000.0;  // ~280 jobs in the window
+  spec.transactions_per_day = 2'000.0;      // ~14 transactions
+  spec.agents = 1;
+  spec.broker_candidates = 6;
+  spec.min_subjobs = 2;
+  spec.max_subjobs = 3;
+  spec.publish_interval = 10 * sim::kSecond;
+  return spec;
+}
+
+TEST(ScaleScenario, SustainsBackgroundAndCoallocationTraffic) {
+  testbed::ScaleScenario scenario(tiny_scale_spec(21));
+  const testbed::ScaleMetrics m = scenario.run();
+  EXPECT_EQ(m.simulated, 10 * sim::kMinute);
+  EXPECT_GT(m.background_submitted, 100u);
+  EXPECT_GT(m.background_completed, 0u);
+  EXPECT_GT(m.txn_attempted, 0u);
+  EXPECT_GT(m.txn_placed, 0u);
+  EXPECT_GT(m.txn_released, 0u);
+  EXPECT_GE(m.gis_queries_served, m.txn_attempted);
+  EXPECT_GT(m.info.publish_rounds, 0u);
+  EXPECT_GT(m.jobs_total(), m.background_submitted);
+}
+
+TEST(ScaleScenario, IsDeterministicPerSeed) {
+  auto run_once = [](std::uint64_t seed) {
+    testbed::ScaleScenario scenario(tiny_scale_spec(seed));
+    return scenario.run();
+  };
+  const testbed::ScaleMetrics a = run_once(33);
+  const testbed::ScaleMetrics b = run_once(33);
+  EXPECT_EQ(a.fingerprint, b.fingerprint);
+  EXPECT_EQ(a.events_executed, b.events_executed);
+  EXPECT_EQ(a.background_submitted, b.background_submitted);
+  EXPECT_EQ(a.txn_placed, b.txn_placed);
+  EXPECT_EQ(a.txn_released, b.txn_released);
+  const testbed::ScaleMetrics c = run_once(34);
+  EXPECT_NE(a.fingerprint, c.fingerprint);
 }
 
 }  // namespace
